@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the experiment on the simulated testbed, prints the same rows or
+series the paper reports, writes that rendering to
+``benchmarks/results/``, and asserts the paper's shape claims.  Wall
+time of the heavy simulation is registered with pytest-benchmark via a
+single pedantic round (the experiments themselves are deterministic, so
+repeated timing rounds would only re-measure the same work).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir, name, text):
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return path

@@ -1,0 +1,96 @@
+"""Ablation: cache-mode granularity (paper §4.1.2).
+
+The paper's suggestion is simple: turn cache mode on in LANs.  It also
+notes the agent may mix modes per object.  The interesting regime is the
+WAN: small objects are latency-bound (the nearby host wins) while large
+objects are bandwidth-bound (the origin's 1.5 Mbps downlink beats the
+host's 384 Kbps uplink).  A size-threshold policy should therefore beat
+both pure modes on mixed pages.
+"""
+
+from repro.core import (
+    AlwaysCachePolicy,
+    CoBrowsingSession,
+    NeverCachePolicy,
+    SizeThresholdCachePolicy,
+)
+from repro.webserver import OriginServer, StaticSite
+from repro.workloads import build_wan
+
+from conftest import write_result
+
+#: A page mixing many small icons with a few heavy images.
+def _deploy_mixed_site(testbed):
+    site = StaticSite("mixed.com")
+    icons = "".join('<img src="/icon_%02d.png">' % i for i in range(24))
+    photos = "".join('<img src="/photo_%d.jpg">' % i for i in range(3))
+    site.add_page(
+        "/",
+        "<html><head><title>Mixed</title></head><body>%s%s</body></html>"
+        % (icons, photos),
+    )
+    for index in range(24):
+        site.add("/icon_%02d.png" % index, "image/png", b"i" * 900)
+    for index in range(3):
+        site.add("/photo_%d.jpg" % index, "image/jpeg", b"p" * 60000)
+    OriginServer(
+        testbed.network,
+        "mixed.com",
+        site.handle,
+        processing_delay=lambda request: 0.25 if request.path == "/" else 0.12,
+    )
+
+
+def measure(policy):
+    testbed = build_wan(deploy_sites=False)
+    _deploy_mixed_site(testbed)
+    session = CoBrowsingSession(testbed.host_browser, cache_mode=policy)
+    outcome = {}
+
+    def scenario():
+        snippet = yield from session.join(testbed.participant_browser)
+        yield from session.host_navigate("http://mixed.com/")
+        yield from session.wait_until_synced(timeout=600)
+        outcome["objects_time"] = snippet.stats.last_objects_seconds
+        outcome["from_host"] = sum(
+            1 for o in testbed.participant_browser.page.objects if "host-pc:3000" in o.url
+        )
+        outcome["total"] = len(testbed.participant_browser.page.objects)
+        session.leave(snippet)
+
+    testbed.run(scenario())
+    session.close()
+    return outcome
+
+
+def test_cache_mode_granularity(benchmark, results_dir):
+    def sweep():
+        return {
+            "non-cache": measure(NeverCachePolicy()),
+            "cache": measure(AlwaysCachePolicy()),
+            "mixed (<=8KB)": measure(SizeThresholdCachePolicy(max_bytes=8000)),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: cache-mode granularity on a WAN, mixed icons+photos page",
+        "%-16s %16s %18s" % ("policy", "objects time", "objects via host"),
+    ]
+    for name, outcome in results.items():
+        lines.append(
+            "%-16s %15.3fs %13d of %2d"
+            % (name, outcome["objects_time"], outcome["from_host"], outcome["total"])
+        )
+    write_result(results_dir, "ablation_cache_mode.txt", "\n".join(lines))
+
+    # All three policies fetched the full object set.
+    assert all(o["total"] == 27 for o in results.values())
+    assert results["non-cache"]["from_host"] == 0
+    assert results["cache"]["from_host"] == 27
+    assert results["mixed (<=8KB)"]["from_host"] == 24  # icons only
+
+    # The per-object mixed policy beats both global modes on this page.
+    mixed = results["mixed (<=8KB)"]["objects_time"]
+    assert mixed < results["non-cache"]["objects_time"]
+    assert mixed < results["cache"]["objects_time"]

@@ -1,0 +1,89 @@
+"""Ablation: the polling interval (paper fixes it at one second).
+
+The paper argues 1 s is small enough because users' average think time
+per page is about ten seconds (§5.1.1).  This sweep quantifies the
+trade-off the choice sits on: smaller intervals cut synchronization
+latency but multiply request overhead on the host.
+"""
+
+from repro.core import CoBrowsingSession
+from repro.webserver import OriginServer, StaticSite
+from repro.workloads import build_lan
+
+from conftest import write_result
+
+INTERVALS = (0.1, 0.25, 0.5, 1.0, 2.0, 5.0)
+IDLE_WINDOW = 30.0
+
+
+def _deploy_demo(testbed):
+    site = StaticSite("demo.com")
+    site.add_page(
+        "/",
+        "<html><head><title>Demo</title></head>"
+        "<body><div id='tick'>0</div></body></html>",
+    )
+    OriginServer(testbed.network, "demo.com", site.handle)
+
+
+def measure_interval(interval):
+    testbed = build_lan(deploy_sites=False)
+    _deploy_demo(testbed)
+    session = CoBrowsingSession(testbed.host_browser, poll_interval=interval)
+    sim = testbed.sim
+    outcome = {}
+
+    def scenario():
+        snippet = yield from session.join(testbed.participant_browser)
+        yield from session.host_navigate("http://demo.com/")
+        yield from session.wait_until_synced()
+
+        # Request overhead: polls during an idle window.
+        polls_before = session.agent.stats["polls"]
+        yield sim.timeout(IDLE_WINDOW)
+        outcome["polls_per_minute"] = (
+            (session.agent.stats["polls"] - polls_before) * 60.0 / IDLE_WINDOW
+        )
+
+        # Sync latency: host mutates, how long until the participant has it.
+        mutated_at = sim.now
+        testbed.host_browser.mutate_document(
+            lambda doc: setattr(doc.get_element_by_id("tick"), "inner_html", "1")
+        )
+        yield from session.wait_until_synced()
+        outcome["sync_latency"] = sim.now - mutated_at
+        session.leave(snippet)
+
+    testbed.run(scenario())
+    session.close()
+    return outcome
+
+
+def test_poll_interval_sweep(benchmark, results_dir):
+    def sweep():
+        return {interval: measure_interval(interval) for interval in INTERVALS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: Ajax-Snippet polling interval (paper default: 1.0 s)",
+        "%10s %16s %18s" % ("interval", "sync latency", "polls per minute"),
+    ]
+    for interval in INTERVALS:
+        outcome = results[interval]
+        lines.append(
+            "%9.2fs %15.3fs %18.1f"
+            % (interval, outcome["sync_latency"], outcome["polls_per_minute"])
+        )
+    write_result(results_dir, "ablation_poll_interval.txt", "\n".join(lines))
+
+    # Latency grows with the interval...
+    assert results[5.0]["sync_latency"] > results[0.1]["sync_latency"]
+    # ...and is bounded by roughly one interval plus transfer time.
+    for interval in INTERVALS:
+        assert results[interval]["sync_latency"] <= interval + 0.5
+    # Overhead shrinks as the interval grows.
+    assert results[0.1]["polls_per_minute"] > 5 * results[1.0]["polls_per_minute"]
+    # The paper's 1 s default keeps sub-second-ish latency at ~1 poll/s.
+    assert results[1.0]["sync_latency"] < 1.5
+    assert results[1.0]["polls_per_minute"] < 70

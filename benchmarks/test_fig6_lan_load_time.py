@@ -1,0 +1,31 @@
+"""Figure 6: HTML document load time (M1 vs M2) in the LAN environment.
+
+Paper claims: on the 100 Mbps campus LAN, M2 (participant syncs the
+document from the host) is below 0.4 s for all 20 sites and much smaller
+than M1 (host loads it from the origin server).
+"""
+
+from repro.metrics import render_figure_m1_m2, run_experiment
+
+from conftest import write_result
+
+REPETITIONS = 5  # the paper averages five repetitions
+
+
+def test_fig6_lan_m1_vs_m2(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("lan", cache_mode=True, repetitions=REPETITIONS),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.rows
+    assert len(rows) == 20
+
+    write_result(results_dir, "fig6_lan_m1_m2.txt", render_figure_m1_m2(rows, "LAN"))
+
+    # Shape claims (paper §5.1.2, Figure 6).
+    assert all(row.m2 < 0.4 for row in rows), "LAN M2 must stay under 0.4 s"
+    assert all(row.m2 < row.m1 for row in rows), "LAN M2 must beat M1 on every site"
+    # "much smaller": at least 3x on average.
+    mean_ratio = sum(row.m1 / row.m2 for row in rows) / len(rows)
+    assert mean_ratio > 3.0

@@ -1,0 +1,49 @@
+"""Figure 7: HTML document load time (M1 vs M2) in the WAN environment.
+
+Paper claims: M2 grows compared to the LAN (the host's 384 Kbps uplink
+is the bottleneck), yet M2 still beats M1 on most sites (17 of 20 in the
+paper), with the exceptions concentrated at the largest pages.
+"""
+
+from repro.metrics import render_figure_m1_m2, run_experiment
+
+from conftest import write_result
+
+REPETITIONS = 5
+
+
+def test_fig7_wan_m1_vs_m2(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("wan", cache_mode=True, repetitions=REPETITIONS),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.rows
+    assert len(rows) == 20
+
+    write_result(results_dir, "fig7_wan_m1_m2.txt", render_figure_m1_m2(rows, "WAN"))
+
+    winners = [row for row in rows if row.m2 < row.m1]
+    losers = [row for row in rows if row.m2 >= row.m1]
+
+    # Shape claims (paper §5.1.2, Figure 7): M2 < M1 on most sites.
+    assert len(winners) >= 15, "paper reports 17/20; most sites must hold"
+    # The exceptions are the largest documents.
+    if losers:
+        min_loser_kb = min(row.page_kb for row in losers)
+        median_kb = sorted(row.page_kb for row in rows)[len(rows) // 2]
+        assert min_loser_kb > median_kb, "exceptions should be the big pages"
+
+
+def test_fig7_wan_m2_larger_than_lan(benchmark, results_dir):
+    """The paper's first WAN observation: M2 grows versus the LAN."""
+
+    def both():
+        lan = run_experiment("lan", cache_mode=True, repetitions=1)
+        wan = run_experiment("wan", cache_mode=True, repetitions=1)
+        return lan, wan
+
+    lan, wan = benchmark.pedantic(both, rounds=1, iterations=1)
+    lan_by_site = lan.by_site()
+    for wan_row in wan.rows:
+        assert wan_row.m2 > lan_by_site[wan_row.site].m2

@@ -1,0 +1,63 @@
+"""Figure 8: supplementary-object download time (M3 vs M4), LAN.
+
+Paper claims: in the LAN, downloading a page's supplementary objects
+from the host browser's cache (M4, cache mode) is faster than from the
+origin servers (M3, non-cache mode) for all 20 sites; in the WAN the
+cache still helps but the gain is less significant.
+"""
+
+from repro.metrics import render_figure_m3_m4, run_experiment
+
+from conftest import write_result
+
+REPETITIONS = 5
+
+
+def test_fig8_lan_cache_gain(benchmark, results_dir):
+    def both():
+        non_cache = run_experiment("lan", cache_mode=False, repetitions=REPETITIONS)
+        cache = run_experiment("lan", cache_mode=True, repetitions=REPETITIONS)
+        return non_cache, cache
+
+    non_cache, cache = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    write_result(
+        results_dir,
+        "fig8_lan_m3_m4.txt",
+        render_figure_m3_m4(non_cache.rows, cache.rows, "LAN"),
+    )
+
+    cache_by_site = cache.by_site()
+    for row in non_cache.rows:
+        assert cache_by_site[row.site].m4 < row.m3, (
+            "cache mode must win on %s" % row.site
+        )
+
+
+def test_fig8_wan_cache_gain_less_significant(benchmark, results_dir):
+    """§5.1.2: WAN participants still benefit, but the gain shrinks."""
+
+    def all_four():
+        lan_nc = run_experiment("lan", cache_mode=False, repetitions=1)
+        lan_c = run_experiment("lan", cache_mode=True, repetitions=1)
+        wan_nc = run_experiment("wan", cache_mode=False, repetitions=1)
+        wan_c = run_experiment("wan", cache_mode=True, repetitions=1)
+        return lan_nc, lan_c, wan_nc, wan_c
+
+    lan_nc, lan_c, wan_nc, wan_c = benchmark.pedantic(all_four, rounds=1, iterations=1)
+
+    write_result(
+        results_dir,
+        "fig8_wan_m3_m4.txt",
+        render_figure_m3_m4(wan_nc.rows, wan_c.rows, "WAN"),
+    )
+
+    def mean_gain(non_cache, cache):
+        cache_by_site = cache.by_site()
+        gains = [row.m3 / cache_by_site[row.site].m4 for row in non_cache.rows]
+        return sum(gains) / len(gains)
+
+    lan_gain = mean_gain(lan_nc, lan_c)
+    wan_gain = mean_gain(wan_nc, wan_c)
+    assert wan_gain > 1.0, "WAN participants must still benefit from the cache"
+    assert wan_gain < lan_gain, "the WAN gain must be less significant than LAN"

@@ -1,0 +1,100 @@
+"""Harness benchmarks: end-to-end throughput of the simulation stack.
+
+Not a paper table — these measure the reproduction itself (pages
+co-browsed per wall-clock second through the full kernel/net/http/html/
+browser/RCB stack, and the hot substrate paths), the numbers a
+downstream user needs to size their own experiments.
+"""
+
+from repro.core import CoBrowsingSession
+from repro.html import parse_document, serialize_document
+from repro.webserver import TABLE1_SITES, generate_table1_site
+from repro.workloads import build_lan
+from repro.workloads.surf import generate_trace, run_surf
+
+from conftest import write_result
+
+
+def test_end_to_end_surf_throughput(benchmark, results_dir):
+    """Pages per wall-clock second through the full co-browsing stack."""
+
+    def one_surf():
+        testbed = build_lan()
+        session = CoBrowsingSession(testbed.host_browser, poll_interval=0.5)
+        trace = generate_trace(99, 30)
+        report = testbed.run(run_surf(testbed, session, trace), limit=1e7)
+        session.close()
+        return report
+
+    report = benchmark.pedantic(one_surf, rounds=1, iterations=1)
+    stats_seconds = benchmark.stats.stats.mean
+    write_result(
+        results_dir,
+        "harness_throughput.txt",
+        "Full-stack surf: %d pages + %d mutations in %.2f s wall "
+        "(%.1f operations/s); %.1f simulated seconds"
+        % (
+            report.pages_visited,
+            report.mutations,
+            stats_seconds,
+            (report.pages_visited + report.mutations) / stats_seconds,
+            report.sim_seconds,
+        ),
+    )
+    assert report.pages_visited > 0
+
+
+_MSN = generate_table1_site(TABLE1_SITES[4])
+
+
+def test_html_parse_msn(benchmark):
+    benchmark(lambda: parse_document(_MSN.html))
+
+
+def test_html_serialize_msn(benchmark):
+    document = parse_document(_MSN.html)
+    benchmark(lambda: serialize_document(document))
+
+
+def test_dom_clone_msn(benchmark):
+    document = parse_document(_MSN.html)
+    benchmark(lambda: document.document_element.clone(deep=True))
+
+
+def test_sim_kernel_event_churn(benchmark):
+    """Schedule-and-fire cost of 10k timeout events."""
+    from repro.sim import Simulator
+
+    def churn():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(10000):
+                yield sim.timeout(0.001)
+
+        sim.run_until_complete(sim.process(ticker()))
+
+    benchmark.pedantic(churn, rounds=3, iterations=1)
+
+
+def test_network_transfer_churn(benchmark):
+    """Cost of 2k request/response exchanges over simulated TCP."""
+    from repro.http import HttpClient, HttpResponse, HttpServer
+    from repro.net import LAN_PROFILE, SERVER_PROFILE, Host, Network
+    from repro.sim import Simulator
+
+    def churn():
+        sim = Simulator()
+        network = Network(sim)
+        server_host = Host(network, "srv", SERVER_PROFILE, segment="internet")
+        client_host = Host(network, "cli", LAN_PROFILE, segment="campus")
+        HttpServer(server_host, 80, lambda req, client: HttpResponse(200, body=b"ok")).start()
+        client = HttpClient(client_host)
+
+        def run_requests():
+            for _ in range(2000):
+                yield from client.get("http://srv/")
+
+        sim.run_until_complete(sim.process(run_requests()))
+
+    benchmark.pedantic(churn, rounds=3, iterations=1)

@@ -1,0 +1,106 @@
+"""Scenario 2 (paper §5.2.2): online co-shopping at the Amazon stand-in.
+
+Bob hosts; Alice joins.  Both can search and click — Alice's actions are
+sent to RCB-Agent on Bob's browser, which performs them, so the shop
+only ever sees Bob's session cookie.  Alice co-fills the shipping
+address form from her browser, and Bob places the order.
+
+Run with:  python examples/co_shopping.py
+"""
+
+from repro import Browser, CoBrowsingSession, Host, LAN_PROFILE, Network, Simulator
+from repro.browser import Browser as BrowserType
+from repro.webserver import SHOP_HOST, ShopService
+
+ALICE_ADDRESS = {
+    "full_name": "Alice Example",
+    "street": "653 5th Ave",
+    "city": "New York",
+    "state": "NY",
+    "zip_code": "10022",
+}
+
+
+def main():
+    sim = Simulator()
+    network = Network(sim)
+    shop = ShopService(network)
+
+    bob_pc = Host(network, "bob-pc", LAN_PROFILE, segment="home")
+    alice_pc = Host(network, "alice-pc", LAN_PROFILE, segment="home")
+    bob = Browser(bob_pc, name="bob")
+    alice = Browser(alice_pc, name="alice")
+    session = CoBrowsingSession(bob)
+
+    def scenario():
+        snippet = yield from session.join(alice, participant_id="alice")
+
+        # Bob opens the shop and searches.
+        yield from session.host_navigate("http://%s/" % SHOP_HOST)
+        yield from session.wait_until_synced()
+        form = bob.page.document.get_element_by_id("searchform")
+        yield from bob.submit_form(form, {"q": "MacBook Air"})
+        yield from session.wait_until_synced()
+        results = [
+            el.text_content
+            for el in alice.page.document.descendant_elements()
+            if el.tag == "a" and (el.get_attribute("id") or "").startswith("result-")
+        ]
+        print("Alice sees the search results: %s" % results)
+
+        # Alice picks a laptop FROM HER BROWSER: the click is intercepted
+        # by Ajax-Snippet, piggybacked to the host, performed there.
+        choice = next(
+            el
+            for el in alice.page.document.descendant_elements()
+            if el.get_attribute("id") == "result-mba-13-64"
+        )
+        yield from alice.click_link(choice)
+        yield from snippet.flush()
+        yield from session.wait_until_synced()
+        print(
+            "Alice clicked; Bob's browser navigated to: %r"
+            % bob.page.document.get_element_by_id("item-title").text_content
+        )
+
+        # Bob adds it to the cart (his session cookie, not Alice's).
+        add_form = bob.page.document.get_element_by_id("addform")
+        yield from bob.submit_form(add_form)
+        yield from session.wait_until_synced()
+        print(
+            "Cart on both browsers; shop knows %d session(s) — only Bob's."
+            % shop.session_count()
+        )
+
+        # Checkout: Alice co-fills the shipping form from her side.
+        yield from session.host_navigate("http://%s/checkout" % SHOP_HOST)
+        yield from session.wait_until_synced()
+        alice_form = alice.page.document.get_element_by_id("addressform")
+        for name, value in ALICE_ADDRESS.items():
+            field = BrowserType._find_form_field(alice_form, name)
+            alice.fill_field(field, value)
+            alice.dispatch_event(field, "change")
+        yield from snippet.flush()
+        yield from session.wait_until_synced()
+        merged = BrowserType.collect_form_fields(
+            bob.page.document.get_element_by_id("addressform")
+        )
+        print("Address co-filled onto Bob's form: %s" % merged)
+
+        # Bob finishes the checkout.
+        yield from bob.submit_form(bob.page.document.get_element_by_id("addressform"))
+        yield from bob.submit_form(bob.page.document.get_element_by_id("confirmform"))
+        yield from session.wait_until_synced()
+        order = bob.page.document.get_element_by_id("order-id").text_content
+        print("Order placed: %s" % order)
+        print(
+            "Alice sees the confirmation too: %s"
+            % (alice.page.document.get_element_by_id("order-complete") is not None)
+        )
+        session.leave(snippet)
+
+    sim.run_until_complete(sim.process(scenario()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Scenario 1 (paper §5.2.1): coordinating a meeting spot via the maps app.
+
+Bob uses the Ajax map service to show Alice exactly where to meet in
+Manhattan.  The map page updates itself tile-by-tile over Ajax — the URL
+never changes, so plain URL sharing could not co-browse it; RCB
+synchronizes every pan, zoom, and the street view.
+
+Run with:  python examples/google_maps_meeting.py
+"""
+
+from repro import Browser, CoBrowsingSession, Host, LAN_PROFILE, Network, Simulator
+from repro.webserver import MAP_HOST, MapPageDriver, MapService
+
+
+def main():
+    sim = Simulator()
+    network = Network(sim)
+    MapService(network)
+
+    bob_pc = Host(network, "bob-pc", LAN_PROFILE, segment="home")
+    alice_pc = Host(network, "alice-pc", LAN_PROFILE, segment="home")
+    bob = Browser(bob_pc, name="bob")
+    alice = Browser(alice_pc, name="alice")
+    session = CoBrowsingSession(bob)
+
+    def alice_viewport():
+        canvas = alice.page.document.get_element_by_id("map-canvas")
+        return (
+            canvas.get_attribute("data-zoom"),
+            canvas.get_attribute("data-x"),
+            canvas.get_attribute("data-y"),
+        )
+
+    def scenario():
+        snippet = yield from session.join(alice, participant_id="alice")
+        yield from session.host_navigate("http://%s/" % MAP_HOST)
+        yield from session.wait_until_synced()
+        print("Both browsers show the map page.")
+
+        driver = MapPageDriver(bob)
+
+        # Bob searches the meeting address.
+        yield from driver.search("653 5th Ave, New York")
+        yield from session.wait_until_synced()
+        print("Bob searched '653 5th Ave, New York'.")
+        print("  Alice's viewport is now (zoom, x, y) = %s" % (alice_viewport(),))
+
+        # Bob pans and zooms; every change mirrors to Alice.
+        yield from driver.zoom(1)
+        yield from session.wait_until_synced()
+        print("Bob zoomed in -> Alice sees %s" % (alice_viewport(),))
+        yield from driver.pan(1, 0)
+        yield from session.wait_until_synced()
+        print("Bob dragged east -> Alice sees %s" % (alice_viewport(),))
+        yield from driver.zoom(-1)
+        yield from session.wait_until_synced()
+
+        # Street view: the Flash panorama appears on both browsers, but
+        # actions INSIDE the Flash are not synchronized (paper's noted
+        # limitation) — Bob and Alice each look around on their own.
+        yield from driver.open_street_view()
+        yield from session.wait_until_synced()
+        flash = alice.page.document.get_element_by_id("street-view")
+        print(
+            "Street view embedded on Alice's browser: %s (type %s)"
+            % (flash is not None, flash.get_attribute("type"))
+        )
+        print("They agree to meet outside the Cartier show-windows.")
+        session.leave(snippet)
+
+    sim.run_until_complete(sim.process(scenario()))
+    tiles = session.agent.stats["object_requests"]
+    print("The host's cache served %d tile/object requests to Alice." % tiles)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Moderated distance learning: one instructor, three students (§3.3).
+
+RCB sessions are hosted and moderated.  Here the instructor runs two
+policies in sequence:
+
+* ``ObserveOnlyPolicy`` — lecture mode: students watch; their clicks are
+  dropped by the agent.
+* ``ConfirmPolicy`` — exercise mode: a student's form answer is held
+  until the instructor inspects and explicitly confirms it (paper §3.3's
+  inspect-and-confirm flow).
+
+Run with:  python examples/moderated_classroom.py
+"""
+
+from repro import (
+    Browser,
+    CoBrowsingSession,
+    ConfirmPolicy,
+    Host,
+    LAN_PROFILE,
+    Network,
+    ObserveOnlyPolicy,
+    Simulator,
+)
+from repro.webserver import OriginServer, StaticSite
+
+
+def main():
+    sim = Simulator()
+    network = Network(sim)
+
+    site = StaticSite("course.example.edu")
+    site.add_page(
+        "/lesson1",
+        "<html><head><title>Lesson 1</title></head>"
+        "<body><h1>Discrete-event simulation</h1>"
+        '<a id="next" href="/lesson2">next lesson</a></body></html>',
+    )
+    site.add_page(
+        "/lesson2",
+        "<html><head><title>Lesson 2</title></head>"
+        "<body><h1>Exercise</h1>"
+        "<form id='quiz' action='/answer' method='GET'>"
+        "<input type='text' name='answer' value=''></form></body></html>",
+    )
+
+    def handler(request, client):
+        from repro.http import html_response
+
+        if request.path == "/answer":
+            answer = request.query_params().get("answer", "")
+            return html_response(
+                "<html><head><title>Graded</title></head>"
+                "<body><p id='grade'>Answer received: %s</p></body></html>" % answer
+            )
+        return site.handle(request, client)
+
+    OriginServer(network, "course.example.edu", handler)
+
+    instructor_pc = Host(network, "instructor-pc", LAN_PROFILE, segment="campus")
+    instructor = Browser(instructor_pc, name="instructor")
+    students = []
+    for index in range(3):
+        pc = Host(network, "student-pc-%d" % index, LAN_PROFILE, segment="campus")
+        students.append(Browser(pc, name="student-%d" % index))
+
+    # Lecture mode: observe-only.
+    session = CoBrowsingSession(instructor, policy=ObserveOnlyPolicy())
+
+    def scenario():
+        snippets = []
+        for index, student in enumerate(students):
+            snippet = yield from session.join(student, participant_id="student-%d" % index)
+            snippets.append(snippet)
+        yield sim.timeout(0.5)  # let every student's first poll land
+        print("Roster on the agent: %s" % session.agent.roster())
+
+        yield from session.host_navigate("http://course.example.edu/lesson1")
+        yield from session.wait_until_synced()
+        print("All students see %r" % students[0].page.document.title)
+
+        # A student tries to click ahead — the policy drops it.
+        eager = students[0]
+        link = eager.page.document.get_element_by_id("next")
+        yield from eager.click_link(link)
+        yield from snippets[0].flush()
+        yield sim.timeout(2)
+        print(
+            "Student 0 clicked 'next' during the lecture: instructor is "
+            "still on %r (actions dropped: %d)"
+            % (instructor.page.document.title, session.agent.stats["actions_dropped"])
+        )
+
+        # Exercise mode: switch to inspect-and-confirm.
+        session.agent.policy = ConfirmPolicy()
+        yield from session.host_navigate("http://course.example.edu/lesson2")
+        yield from session.wait_until_synced()
+
+        answerer = students[1]
+        quiz = answerer.page.document.get_element_by_id("quiz")
+        field = quiz.get_elements_by_tag_name("input")[0]
+        answerer.fill_field(field, "events fire in timestamp order")
+        yield from answerer.submit_form(quiz)
+        yield from snippets[1].flush()
+        print(
+            "Student 1 submitted an answer; held for review: %d pending"
+            % len(session.agent.pending_actions)
+        )
+
+        applied = yield from session.agent.confirm_pending()
+        yield from session.wait_until_synced()
+        print(
+            "Instructor confirmed %d action(s); the course site graded: %r"
+            % (applied, instructor.page.document.get_element_by_id("grade").text_content)
+        )
+        for snippet in snippets:
+            session.leave(snippet)
+
+    sim.run_until_complete(sim.process(scenario()))
+
+
+if __name__ == "__main__":
+    main()

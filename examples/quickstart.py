@@ -1,0 +1,86 @@
+"""Quickstart: host a co-browsing session and watch a participant sync.
+
+The minimal RCB loop (paper Fig. 1):
+
+1. Bob installs RCB-Agent in his browser and starts a session.
+2. Alice types the agent's URL into her ordinary browser — nothing to
+   install — and the polling channel comes up.
+3. Whatever Bob browses appears on Alice's browser, while her address
+   bar never leaves the agent's URL.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Browser, CoBrowsingSession, Host, LAN_PROFILE, Network, Simulator
+from repro.http import html_response
+from repro.webserver import OriginServer, StaticSite
+
+
+def main():
+    # -- build a small simulated world ------------------------------------
+    sim = Simulator()
+    network = Network(sim)
+
+    site = StaticSite("news.example.com")
+    site.add_page(
+        "/",
+        "<html><head><title>Example News</title></head>"
+        "<body><h1>Breaking: co-browsing works</h1>"
+        '<img src="/photo.png"></body></html>',
+    )
+    site.add("/photo.png", "image/png", b"\x89PNG" + b"\x00" * 8000)
+    OriginServer(network, "news.example.com", site.handle)
+
+    bob_pc = Host(network, "bob-pc", LAN_PROFILE, segment="office")
+    alice_pc = Host(network, "alice-pc", LAN_PROFILE, segment="office")
+    bob = Browser(bob_pc, name="bob")
+    alice = Browser(alice_pc, name="alice")
+
+    # -- step 1: Bob hosts -------------------------------------------------
+    session = CoBrowsingSession(bob, port=3000, poll_interval=1.0)
+    print("Bob hosts a session at %s" % session.agent.url)
+
+    def scenario():
+        # -- step 2: Alice joins with her regular browser ------------------
+        snippet = yield from session.join(alice, participant_id="alice")
+        print("Alice joined; her address bar shows %s" % alice.address_bar)
+
+        # -- steps 3-9: Bob browses, Alice follows -------------------------
+        yield from session.host_navigate("http://news.example.com/")
+        waited = yield from session.wait_until_synced()
+        print("Bob loaded %r" % bob.page.document.title)
+        print(
+            "Alice sees   %r after %.3f simulated seconds"
+            % (alice.page.document.title, waited)
+        )
+        print(
+            "Alice's address bar is still %s (content was pushed into the page)"
+            % alice.address_bar
+        )
+        print(
+            "Her browser fetched %d supplementary object(s), served %s"
+            % (
+                len(alice.page.objects),
+                "by the host's cache" if session.agent.cache_mode else "by the origin",
+            )
+        )
+
+        # A dynamic change on the host propagates too.
+        bob.mutate_document(
+            lambda doc: setattr(
+                doc.get_elements_by_tag_name("h1")[0], "inner_html", "Updated headline!"
+            )
+        )
+        yield from session.wait_until_synced()
+        print(
+            "After Bob's DHTML update Alice reads: %r"
+            % alice.page.document.get_elements_by_tag_name("h1")[0].text_content
+        )
+        session.leave(snippet)
+
+    sim.run_until_complete(sim.process(scenario()))
+    print("Agent statistics: %s" % session.agent.stats)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Regenerate every table and figure of the paper's evaluation (§5).
+
+Runs the full experiment matrix on the simulated testbeds and prints the
+same rows/series the paper reports: Figures 6-8, Table 1, Table 2's task
+session, and Table 4's questionnaire summary.  Takes about a minute.
+
+Run with:  python examples/reproduce_paper.py
+"""
+
+import time
+
+from repro.metrics import (
+    render_figure_m1_m2,
+    render_figure_m3_m4,
+    render_shape_checks,
+    render_table1,
+    run_experiment,
+)
+from repro.workloads import (
+    LIKERT_LEVELS,
+    ScenarioRunner,
+    analyze_questionnaire,
+    build_lan,
+    generate_questionnaire_responses,
+)
+
+REPETITIONS = 3  # the paper uses 5; 3 keeps this demo quick
+
+
+def rule(title):
+    print("\n" + "=" * 74)
+    print(title)
+    print("=" * 74)
+
+
+def main():
+    started = time.perf_counter()
+
+    rule("Figures 6 & 7 — HTML document load time (M1 vs M2)")
+    lan_cache = run_experiment("lan", cache_mode=True, repetitions=REPETITIONS)
+    print(render_figure_m1_m2(lan_cache.rows, "LAN"))
+    print()
+    wan_cache = run_experiment("wan", cache_mode=True, repetitions=REPETITIONS)
+    print(render_figure_m1_m2(wan_cache.rows, "WAN"))
+
+    rule("Figure 8 — supplementary-object download time (M3 vs M4, LAN)")
+    lan_non_cache = run_experiment("lan", cache_mode=False, repetitions=REPETITIONS)
+    print(render_figure_m3_m4(lan_non_cache.rows, lan_cache.rows, "LAN"))
+
+    rule("Table 1 — homepage size and processing time (M5/M6)")
+    print(render_table1(lan_non_cache.rows, lan_cache.rows))
+
+    rule("Table 2 — the 20-task usability session")
+    testbed = build_lan(deploy_sites=False, with_map=True, with_shop=True)
+    runner = ScenarioRunner(testbed)
+    results = testbed.run(
+        runner.run_session(testbed.host_browser, testbed.participant_browser)
+    )
+    for task in results:
+        print(
+            "%-7s %-4s %s"
+            % (task.task_id, "ok" if task.completed else "FAIL", task.description)
+        )
+    completed = sum(t.completed for t in results)
+    print("completed: %d / %d" % (completed, len(results)))
+
+    rule("Table 4 — questionnaire summary (calibrated response model)")
+    summaries = analyze_questionnaire(generate_questionnaire_responses())
+    print(("%-4s" + "%22s" * 5 + "%8s %8s") % (("Q",) + LIKERT_LEVELS + ("Median", "Mode")))
+    for summary in summaries:
+        print(
+            ("%-4s" + "%21.1f%%" * 5 + "%8s %8s")
+            % ((summary.question,) + summary.percentages + (summary.median, summary.mode))
+        )
+
+    rule("Shape checks against the paper's claims")
+    wan_winners = sum(1 for r in wan_cache.rows if r.m2 < r.m1)
+    lan_by_site = {r.site: r for r in lan_cache.rows}
+    checks = {
+        "LAN: M2 < 0.4 s on all 20 sites": all(r.m2 < 0.4 for r in lan_cache.rows),
+        "LAN: M2 < M1 on all 20 sites": all(r.m2 < r.m1 for r in lan_cache.rows),
+        "WAN: M2 < M1 on most sites (paper: 17/20; here: %d/20)" % wan_winners: wan_winners >= 15,
+        "LAN: M4 < M3 on all 20 sites": all(
+            lan_by_site[r.site].m4 < r.m3 for r in lan_non_cache.rows
+        ),
+        "M5 grows with page size": lan_non_cache.rows[12].m5  # amazon.com
+        > lan_non_cache.rows[1].m5,  # google.com
+        "M5 cache > M5 non-cache (aggregate)": sum(r.m5 for r in lan_cache.rows)
+        > sum(r.m5 for r in lan_non_cache.rows),
+        "Table 2: 100%% task completion": completed == len(results),
+        "Table 4: median and mode are Agree for all questions": all(
+            s.median == "Agree" and s.mode == "Agree" for s in summaries
+        ),
+    }
+    print(render_shape_checks(checks))
+    print("\nTotal wall time: %.1f s" % (time.perf_counter() - started))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — a from-scratch reproduction of "RCB: A Simple and Practical
+Framework for Real-time Collaborative Browsing" (USENIX ATC 2009).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel.
+* :mod:`repro.net` — URLs, latency/bandwidth links, simulated TCP, NAT.
+* :mod:`repro.http` — HTTP/1.1 messages, parser, client, server, cookies.
+* :mod:`repro.html` — tokenizer, tree builder, DOM, serializer.
+* :mod:`repro.browser` — a simulated browser: page loads, cache,
+  observers, events, extensions.
+* :mod:`repro.webserver` — the simulated web: the 20 Table-1 sites, a
+  Google-Maps-like Ajax app, a session-protected shop.
+* :mod:`repro.core` — the paper's contribution: RCB-Agent, Ajax-Snippet,
+  sessions, policies, the XML envelope, HMAC request security.
+* :mod:`repro.workloads` / :mod:`repro.metrics` — experiment testbeds,
+  scenario scripts, the usability study, and the M1–M6 measurement
+  harness regenerating every figure and table in the paper.
+
+See ``examples/quickstart.py`` for a minimal co-browsing session.
+"""
+
+from .browser import Browser
+from .core import (
+    AjaxSnippet,
+    CoBrowsingSession,
+    ConfirmPolicy,
+    ObserveOnlyPolicy,
+    OpenPolicy,
+    RCBAgent,
+    generate_session_secret,
+)
+from .net import LAN_PROFILE, WAN_HOME_PROFILE, Host, NatGateway, Network
+from .sim import Simulator
+from .workloads import build_lan, build_wan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AjaxSnippet",
+    "Browser",
+    "CoBrowsingSession",
+    "ConfirmPolicy",
+    "Host",
+    "LAN_PROFILE",
+    "NatGateway",
+    "Network",
+    "ObserveOnlyPolicy",
+    "OpenPolicy",
+    "RCBAgent",
+    "Simulator",
+    "WAN_HOME_PROFILE",
+    "build_lan",
+    "build_wan",
+    "generate_session_secret",
+    "__version__",
+]

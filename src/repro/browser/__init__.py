@@ -1,0 +1,33 @@
+"""Simulated browser substrate: cache, observers, pages, events, extensions."""
+
+from .browser import Browser, BrowserExtension, NavigationError
+from .cache import BrowserCache, CacheEntry, CacheMiss, CacheReadSession
+from .observer import (
+    ObserverService,
+    TOPIC_DOCUMENT_CHANGED,
+    TOPIC_DOCUMENT_LOADED,
+    TOPIC_OBJECT_DOWNLOADED,
+    TOPIC_USER_ACTION,
+)
+from .page import LoadedObject, Page
+from .script import ScriptEngine, ScriptError, parse_call_expression
+
+__all__ = [
+    "Browser",
+    "BrowserCache",
+    "BrowserExtension",
+    "CacheEntry",
+    "CacheMiss",
+    "CacheReadSession",
+    "LoadedObject",
+    "NavigationError",
+    "ObserverService",
+    "Page",
+    "ScriptEngine",
+    "ScriptError",
+    "TOPIC_DOCUMENT_CHANGED",
+    "TOPIC_DOCUMENT_LOADED",
+    "TOPIC_OBJECT_DOWNLOADED",
+    "TOPIC_USER_ACTION",
+    "parse_call_expression",
+]

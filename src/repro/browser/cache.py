@@ -1,0 +1,141 @@
+"""Browser cache: LRU object store with read sessions.
+
+Models the Mozilla cache service RCB-Agent uses in cache mode (paper
+§4.1.1): the agent holds a mapping table from request-URIs to cache keys
+and reads cached object data through a cache session.  The cache is
+read-only from the agent's perspective — the paper is explicit that the
+host browser's cache is "only read but not modified by RCB-Agent" — which
+:class:`CacheReadSession` enforces.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+__all__ = ["BrowserCache", "CacheEntry", "CacheReadSession", "CacheMiss"]
+
+
+class CacheMiss(KeyError):
+    """Requested key is not in the cache."""
+
+
+class CacheEntry:
+    """One cached object."""
+
+    __slots__ = ("key", "url", "content_type", "data", "stored_at", "hits")
+
+    def __init__(self, key: str, url: str, content_type: str, data: bytes, stored_at: float):
+        self.key = key
+        self.url = url
+        self.content_type = content_type
+        self.data = data
+        self.stored_at = stored_at
+        self.hits = 0
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return "CacheEntry(%r, %s, %d bytes)" % (self.key, self.content_type, self.size)
+
+
+class BrowserCache:
+    """Size-bounded LRU cache keyed by absolute URL string."""
+
+    def __init__(self, max_bytes: int = 50 * 1024 * 1024):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.current_bytes = 0
+        self.evictions = 0
+        self.hit_count = 0
+        self.miss_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        """Snapshot of cache keys, LRU-oldest first."""
+        return iter(list(self._entries.keys()))
+
+    def store(self, url: str, content_type: str, data: bytes, now: float = 0.0) -> CacheEntry:
+        """Insert (or refresh) an object; evicts LRU entries as needed."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("cache stores bytes, got %r" % (type(data),))
+        data = bytes(data)
+        if len(data) > self.max_bytes:
+            # An object larger than the whole cache is simply not cached.
+            return CacheEntry(url, url, content_type, data, now)
+        existing = self._entries.pop(url, None)
+        if existing is not None:
+            self.current_bytes -= existing.size
+        entry = CacheEntry(url, url, content_type, data, now)
+        self._entries[url] = entry
+        self.current_bytes += entry.size
+        self._evict()
+        return entry
+
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        """LRU-touching lookup; None on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.miss_count += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.hit_count += 1
+        return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Lookup without touching LRU order or counters."""
+        return self._entries.get(key)
+
+    def remove(self, key: str) -> None:
+        """Evict one entry by key, if present."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.current_bytes -= entry.size
+
+    def clear(self) -> None:
+        """Evict everything."""
+        self._entries.clear()
+        self.current_bytes = 0
+
+    def open_read_session(self) -> "CacheReadSession":
+        """The agent-facing handle (Mozilla-style cache session)."""
+        return CacheReadSession(self)
+
+    def _evict(self) -> None:
+        while self.current_bytes > self.max_bytes and self._entries:
+            _key, entry = self._entries.popitem(last=False)
+            self.current_bytes -= entry.size
+            self.evictions += 1
+
+
+class CacheReadSession:
+    """Read-only view of a :class:`BrowserCache`."""
+
+    def __init__(self, cache: BrowserCache):
+        self._cache = cache
+
+    def contains(self, key: str) -> bool:
+        """Whether the cache holds ``key``."""
+        return key in self._cache
+
+    def peek(self, key: str):
+        """Entry metadata without touching LRU order or counters."""
+        return self._cache.peek(key)
+
+    def read(self, key: str) -> CacheEntry:
+        """Return the entry for ``key``; raises CacheMiss when absent."""
+        entry = self._cache.lookup(key)
+        if entry is None:
+            raise CacheMiss(key)
+        return entry

@@ -1,0 +1,59 @@
+"""Observer service: topic-based in-browser notifications.
+
+Models Mozilla's ``nsIObserverService``, which RCB-Agent uses to record
+the complete URL address of every object-download request the host
+browser makes (paper Fig. 3, step 2) — the information that powers the
+relative-to-absolute URL rewrite and the cache-mode mapping table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+__all__ = ["ObserverService", "TOPIC_DOCUMENT_LOADED", "TOPIC_OBJECT_DOWNLOADED", "TOPIC_DOCUMENT_CHANGED", "TOPIC_USER_ACTION"]
+
+#: A page's HTML document finished loading; payload is the Page.
+TOPIC_DOCUMENT_LOADED = "document-loaded"
+
+#: A supplementary object was downloaded; payload is a LoadedObject.
+TOPIC_OBJECT_DOWNLOADED = "object-downloaded"
+
+#: The current document mutated (Ajax/DHTML); payload is the Page.
+TOPIC_DOCUMENT_CHANGED = "document-changed"
+
+#: A local user action occurred (click, input, ...); payload is the action.
+TOPIC_USER_ACTION = "user-action"
+
+
+class ObserverService:
+    """Subscribe callables to string topics; notify synchronously."""
+
+    def __init__(self):
+        self._observers: Dict[str, List[Callable[[str, Any], None]]] = {}
+        self.notifications_sent = 0
+
+    def add_observer(self, topic: str, observer: Callable[[str, Any], None]) -> None:
+        """Subscribe ``observer`` to ``topic``."""
+        if not callable(observer):
+            raise TypeError("observer must be callable")
+        self._observers.setdefault(topic, []).append(observer)
+
+    def remove_observer(self, topic: str, observer: Callable[[str, Any], None]) -> None:
+        """Unsubscribe (a no-op when not subscribed)."""
+        observers = self._observers.get(topic, [])
+        try:
+            observers.remove(observer)
+        except ValueError:
+            pass
+
+    def notify(self, topic: str, payload: Any = None) -> int:
+        """Invoke every observer of ``topic``; returns how many ran."""
+        observers = list(self._observers.get(topic, []))
+        for observer in observers:
+            observer(topic, payload)
+        self.notifications_sent += len(observers)
+        return len(observers)
+
+    def observer_count(self, topic: str) -> int:
+        """Number of observers subscribed to ``topic``."""
+        return len(self._observers.get(topic, []))

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    A narrated minimal co-browsing session (host + one participant).
+``experiment {fig6,fig7,fig8,table1,table2,table4,all}``
+    Regenerate one of the paper's figures/tables and print it.
+``scenario {maps,shop}``
+    Run a usability scenario end-to-end and print the transcript.
+``sites``
+    List the 20 Table-1 sample sites with sizes and regions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of RCB: Real-time Collaborative Browsing (USENIX ATC 2009)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("demo", help="run a narrated minimal co-browsing session")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures/tables"
+    )
+    experiment.add_argument(
+        "target",
+        choices=["fig6", "fig7", "fig8", "table1", "table2", "table4", "all"],
+    )
+    experiment.add_argument(
+        "--repetitions",
+        type=int,
+        default=3,
+        help="experiment rounds to average (paper: 5; default: 3)",
+    )
+
+    scenario = subparsers.add_parser("scenario", help="run a usability scenario")
+    scenario.add_argument("which", choices=["maps", "shop"])
+
+    subparsers.add_parser("sites", help="list the Table-1 sample sites")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _demo()
+    if args.command == "experiment":
+        return _experiment(args.target, args.repetitions)
+    if args.command == "scenario":
+        return _scenario(args.which)
+    if args.command == "sites":
+        return _sites()
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _demo() -> int:
+    from .browser import Browser
+    from .core import CoBrowsingSession
+    from .net import LAN_PROFILE, Host, Network
+    from .sim import Simulator
+    from .webserver import OriginServer, StaticSite
+
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("demo.example.com")
+    site.add_page(
+        "/",
+        "<html><head><title>RCB demo</title></head>"
+        "<body><h1>Hello from the host</h1></body></html>",
+    )
+    OriginServer(network, "demo.example.com", site.handle)
+    host = Browser(Host(network, "host-pc", LAN_PROFILE, segment="lan"), name="host")
+    guest = Browser(Host(network, "guest-pc", LAN_PROFILE, segment="lan"), name="guest")
+    session = CoBrowsingSession(host)
+    print("Host started RCB-Agent at %s" % session.agent.url)
+
+    def scenario():
+        snippet = yield from session.join(guest, participant_id="guest")
+        print("Participant joined (address bar: %s)" % guest.address_bar)
+        yield from session.host_navigate("http://demo.example.com/")
+        waited = yield from session.wait_until_synced()
+        print(
+            "Synchronized %r to the participant in %.3f simulated seconds."
+            % (guest.page.document.title, waited)
+        )
+        session.leave(snippet)
+
+    sim.run_until_complete(sim.process(scenario()))
+    print("Done. Try: python -m repro experiment fig6")
+    return 0
+
+
+def _sites() -> int:
+    from .webserver import TABLE1_SITES, generate_table1_site
+
+    print("%-4s %-16s %10s %-8s %14s" % ("#", "site", "size (KB)", "region", "objects"))
+    for spec in TABLE1_SITES:
+        site = generate_table1_site(spec)
+        print(
+            "%-4d %-16s %10.1f %-8s %14d"
+            % (spec.index, spec.host, spec.page_kb, spec.region, len(site.objects))
+        )
+    return 0
+
+
+def _experiment(target: str, repetitions: int) -> int:
+    from .metrics import (
+        render_figure_m1_m2,
+        render_figure_m3_m4,
+        render_table1,
+        run_experiment,
+    )
+
+    started = time.perf_counter()
+    wanted = (
+        ["fig6", "fig7", "fig8", "table1", "table2", "table4"]
+        if target == "all"
+        else [target]
+    )
+
+    lan_cache = lan_non_cache = None
+    if {"fig6", "fig8", "table1"} & set(wanted):
+        lan_cache = run_experiment("lan", cache_mode=True, repetitions=repetitions)
+    if {"fig8", "table1"} & set(wanted):
+        lan_non_cache = run_experiment("lan", cache_mode=False, repetitions=repetitions)
+
+    if "fig6" in wanted:
+        print(render_figure_m1_m2(lan_cache.rows, "LAN"))
+    if "fig7" in wanted:
+        wan_cache = run_experiment("wan", cache_mode=True, repetitions=repetitions)
+        print(render_figure_m1_m2(wan_cache.rows, "WAN"))
+    if "fig8" in wanted:
+        print(render_figure_m3_m4(lan_non_cache.rows, lan_cache.rows, "LAN"))
+    if "table1" in wanted:
+        print(render_table1(lan_non_cache.rows, lan_cache.rows))
+    if "table2" in wanted:
+        _run_table2()
+    if "table4" in wanted:
+        _run_table4()
+    print("(%.1f s wall time)" % (time.perf_counter() - started))
+    return 0
+
+
+def _run_table2() -> None:
+    from .workloads import ScenarioRunner, build_lan
+
+    testbed = build_lan(deploy_sites=False, with_map=True, with_shop=True)
+    runner = ScenarioRunner(testbed)
+    results = testbed.run(
+        runner.run_session(testbed.host_browser, testbed.participant_browser)
+    )
+    for task in results:
+        print(
+            "%-7s %-4s %s"
+            % (task.task_id, "ok" if task.completed else "FAIL", task.description)
+        )
+    print("completed: %d / %d" % (sum(t.completed for t in results), len(results)))
+
+
+def _run_table4() -> None:
+    from .workloads import (
+        LIKERT_LEVELS,
+        analyze_questionnaire,
+        generate_questionnaire_responses,
+    )
+
+    summaries = analyze_questionnaire(generate_questionnaire_responses())
+    print(("%-4s" + "%22s" * 5 + "%8s %8s") % (("Q",) + LIKERT_LEVELS + ("Median", "Mode")))
+    for summary in summaries:
+        print(
+            ("%-4s" + "%21.1f%%" * 5 + "%8s %8s")
+            % ((summary.question,) + summary.percentages + (summary.median, summary.mode))
+        )
+
+
+def _scenario(which: str) -> int:
+    if which == "maps":
+        from .workloads import ScenarioRunner, build_lan
+
+        testbed = build_lan(deploy_sites=False, with_map=True, with_shop=True)
+        runner = ScenarioRunner(testbed)
+        results = testbed.run(
+            runner.run_session(testbed.host_browser, testbed.participant_browser)
+        )
+        for task in results[:10]:  # T1..T5 pairs are the maps half
+            print("%-7s %-4s %s" % (task.task_id, "ok" if task.completed else "FAIL", task.detail))
+        return 0
+    if which == "shop":
+        from .workloads import ScenarioRunner, build_lan
+
+        testbed = build_lan(deploy_sites=False, with_map=True, with_shop=True)
+        runner = ScenarioRunner(testbed)
+        results = testbed.run(
+            runner.run_session(testbed.host_browser, testbed.participant_browser)
+        )
+        for task in results[10:]:
+            print("%-7s %-4s %s" % (task.task_id, "ok" if task.completed else "FAIL", task.detail))
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,605 @@
+"""RCB-Agent: the co-browsing host's browser extension.
+
+The agent embeds an HTTP service inside the host browser (modelled on
+Mozilla's ``nsIServerSocket``; paper §4.1.1) and implements the Fig. 2
+request-processing procedure:
+
+* **New connection request** — ``GET /`` returns the initial HTML page
+  whose head carries Ajax-Snippet.
+* **Object request** — ``GET /obj?key=...`` (cache mode) streams a
+  cached object from the host browser's cache, via the mapping table
+  from request-URIs to cache keys.
+* **Ajax polling request** — ``POST /poll`` goes through data merging
+  (piggybacked participant actions), timestamp inspection (send only
+  content this participant has not seen), and response sending (the
+  Fig. 4 XML envelope, generated once per document state and reused for
+  every participant).
+
+The agent also monitors the host browser: document loads, dynamic DOM
+changes (Ajax/DHTML), and object downloads, via the observer service.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..browser.browser import Browser, BrowserExtension
+from ..browser.observer import (
+    TOPIC_DOCUMENT_CHANGED,
+    TOPIC_DOCUMENT_LOADED,
+    TOPIC_OBJECT_DOWNLOADED,
+)
+from ..http import Headers, HttpRequest, HttpResponse, html_response
+from ..http.server import serve_connection
+from ..net.socket import ListenSocket
+from ..sim import Interrupt, StoreClosed
+from .actions import (
+    ActionError,
+    ClickAction,
+    FormFillAction,
+    MouseMoveAction,
+    PresenceAction,
+    ScrollAction,
+    SubmitAction,
+    UserAction,
+    decode_actions,
+    encode_actions,
+    resolve_reference,
+)
+from .cachepolicy import CacheModePolicy, coerce_cache_policy
+from .content import AGENT_OBJECT_PATH, ContentGenerator
+from .policy import ModerationPolicy, OpenPolicy, PendingAction
+from .security import AuthError, verify_request_target
+from .xmlformat import js_escape
+
+__all__ = ["RCBAgent", "ParticipantState", "AGENT_DEFAULT_PORT", "TOPIC_ROSTER_CHANGED"]
+
+AGENT_DEFAULT_PORT = 3000
+
+#: Observer topic fired on the host browser when participants join/leave.
+TOPIC_ROSTER_CHANGED = "rcb-roster-changed"
+
+#: Snippet source marker embedded in the initial page's head.
+_SNIPPET_SCRIPT_ID = "ajax-snippet"
+
+
+class ParticipantState:
+    """Per-participant bookkeeping on the agent."""
+
+    def __init__(self, participant_id: str, joined_at: float):
+        self.participant_id = participant_id
+        self.joined_at = joined_at
+        self.last_poll_at = joined_at
+        self.polls = 0
+        self.content_responses = 0
+        #: Host/participant actions queued for delivery to this participant.
+        self.outbound_actions: List[UserAction] = []
+
+    def __repr__(self):
+        return "ParticipantState(%s, %d polls)" % (self.participant_id, self.polls)
+
+
+class RCBAgent(BrowserExtension):
+    """The RCB-Agent browser extension (install on the host browser)."""
+
+    def __init__(
+        self,
+        port: int = AGENT_DEFAULT_PORT,
+        cache_mode: bool = True,
+        policy: Optional[ModerationPolicy] = None,
+        secret: Optional[str] = None,
+        poll_interval: float = 1.0,
+        long_poll_timeout: Optional[float] = None,
+        always_resend: bool = False,
+        replicate_cookies: bool = False,
+        generation_cost_per_kb: float = 0.0,
+        announce_presence: bool = False,
+    ):
+        super().__init__()
+        self.port = port
+        #: Cache-mode policy: a bool (the paper's two global modes) or a
+        #: :class:`~repro.core.cachepolicy.CacheModePolicy` for the
+        #: per-participant / per-object flexibility of §4.1.2.
+        self.cache_policy = coerce_cache_policy(cache_mode)
+        self.policy = policy if policy is not None else OpenPolicy()
+        #: Session secret for HMAC request authentication; None disables
+        #: authentication (trusted-LAN configuration).
+        self.secret = secret
+        #: Poll interval advertised to participants on the initial page.
+        self.poll_interval = poll_interval
+        #: Ablation: hold polls open until content changes ("hanging
+        #: requests", the push emulation the paper decided against).
+        self.long_poll_timeout = long_poll_timeout
+        #: Ablation: disable the timestamp protocol and resend the full
+        #: content on every poll.
+        self.always_resend = always_resend
+        #: Extension feature (paper §4.1.2 notes RCB-Agent "can be
+        #: extended" to replicate cookies): ship the host's cookies for
+        #: the co-browsed origin so participants' non-cache-mode object
+        #: fetches are session-authenticated.  Off by default, as in the
+        #: paper — replicating a session cookie widens its trust domain.
+        self.replicate_cookies = replicate_cookies
+        #: Simulated CPU cost of content generation, seconds per KB of
+        #: envelope.  Zero for desktop hosts (generation is fast relative
+        #: to the network); nonzero models slow devices like the paper's
+        #: Nokia N810 Fennec port (§6).
+        self.generation_cost_per_kb = generation_cost_per_kb
+        #: Push roster snapshots to participants on join/leave — the
+        #: connection/status indicator the usability subjects asked for.
+        self.announce_presence = announce_presence
+        self._change_waiters: List = []
+
+        self.generator = ContentGenerator(AGENT_OBJECT_PATH)
+        self.participants: Dict[str, ParticipantState] = {}
+        self.pending_actions: List[PendingAction] = []
+
+        #: Mapping table: agent request-URI -> cache key (paper §4.1.1).
+        self._object_map: Dict[str, str] = {}
+        #: Absolute URLs the observer recorded downloading (Fig. 3 step 2).
+        self._downloaded_urls: List[str] = []
+
+        self._doc_time = 0
+        #: Generated envelopes per cache-mode key, for the current
+        #: document state only.
+        self._generated_xml: Dict[str, str] = {}
+        self._generated_for_time = -1
+        self._generation_count = 0
+
+        self._listener: Optional[ListenSocket] = None
+        self._accept_proc = None
+
+        # Statistics surfaced to benchmarks.
+        self.stats = {
+            "polls": 0,
+            "empty_responses": 0,
+            "content_responses": 0,
+            "object_requests": 0,
+            "connections": 0,
+            "auth_failures": 0,
+            "actions_applied": 0,
+            "actions_held": 0,
+            "actions_dropped": 0,
+            "action_errors": 0,
+            "last_generation_seconds": 0.0,
+        }
+
+    # -- extension lifecycle -----------------------------------------------------------
+
+    def on_install(self) -> None:
+        """Wire observers, open the TCP port, start accepting."""
+        browser = self.browser
+        browser.observers.add_observer(TOPIC_DOCUMENT_LOADED, self._on_document_event)
+        browser.observers.add_observer(TOPIC_DOCUMENT_CHANGED, self._on_document_event)
+        browser.observers.add_observer(TOPIC_OBJECT_DOWNLOADED, self._on_object_downloaded)
+        self._listener = browser.host.listen(self.port)
+        self._accept_proc = browser.sim.process(self._accept_loop())
+        if browser.page is not None:
+            self._bump_doc_time()
+
+    def on_uninstall(self) -> None:
+        """Unwire observers and close the port."""
+        browser = self.browser
+        browser.observers.remove_observer(TOPIC_DOCUMENT_LOADED, self._on_document_event)
+        browser.observers.remove_observer(TOPIC_DOCUMENT_CHANGED, self._on_document_event)
+        browser.observers.remove_observer(TOPIC_OBJECT_DOWNLOADED, self._on_object_downloaded)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    @property
+    def url(self) -> str:
+        """The address participants type into their browsers."""
+        return "http://%s:%d/" % (self.browser.host.name, self.port)
+
+    # -- browser-state monitoring (Fig. 1 steps 4 & 9) ------------------------------------
+
+    def _on_document_event(self, _topic, _page) -> None:
+        self._bump_doc_time()
+
+    def _on_object_downloaded(self, _topic, loaded) -> None:
+        self._downloaded_urls.append(loaded.url)
+
+    def _bump_doc_time(self) -> None:
+        # Milliseconds, strictly increasing even within one millisecond.
+        now_ms = int(self.browser.sim.now * 1000)
+        self._doc_time = max(now_ms, self._doc_time + 1)
+        waiters, self._change_waiters = self._change_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+
+    @property
+    def doc_time(self) -> int:
+        """Timestamp (ms) of the host's latest document state."""
+        return self._doc_time
+
+    @property
+    def cache_mode(self):
+        """Legacy bool view of the cache policy (True if the policy can
+        ever serve objects from the host's cache)."""
+        return self.cache_policy.ever_uses_cache
+
+    @cache_mode.setter
+    def cache_mode(self, value) -> None:
+        """Assigning a bool or policy replaces the cache policy."""
+        self.cache_policy = coerce_cache_policy(value)
+
+    # -- server loop --------------------------------------------------------------------
+
+    def _accept_loop(self):
+        while True:
+            listener = self._listener
+            if listener is None or listener.closed:
+                return
+            try:
+                connection = yield listener.accept()
+            except (StoreClosed, Interrupt):
+                return
+            self.stats["connections"] += 1
+            self.browser.sim.process(self._serve(connection))
+
+    def _serve(self, connection):
+        try:
+            yield from serve_connection(
+                self.browser.sim, connection, self._dispatch, server_name="rcb-agent"
+            )
+        finally:
+            connection.close()
+
+    def _dispatch(self, request: HttpRequest, client_name: str):
+        # Classification by method token and request-URI (Fig. 2).
+        if request.method == "GET" and request.path == "/":
+            return self._initial_page_response()
+        if request.method == "GET" and request.path == AGENT_OBJECT_PATH:
+            # Reading a cached object through the browser's cache service
+            # costs a few milliseconds on the host.
+            yield self.browser.sim.timeout(0.004)
+            return self._object_response(request)
+        if request.method == "POST" and request.path == "/poll":
+            response = yield from self._poll_response(request, client_name)
+            return response
+        return HttpResponse(404, body=b"unknown rcb request")
+        yield  # pragma: no cover - makes this a generator function
+
+    # -- new connection requests ------------------------------------------------------------
+
+    def _initial_page_response(self) -> HttpResponse:
+        """The initial HTML page, with Ajax-Snippet in its head."""
+        secret_field = ""
+        if self.secret is not None:
+            secret_field = (
+                "<p>This session requires the secret key your host shared "
+                "with you.</p>"
+                "<form id='rcb-key-form' onsubmit='return rcbKeySubmit(this)'>"
+                "<input type='password' name='session_key' value=''>"
+                "<input type='submit' value='Join'></form>"
+            )
+        page = (
+            "<!DOCTYPE html><html><head>"
+            "<title>RCB Co-browsing Session</title>"
+            '<script id="%s" data-poll-interval="%s">'
+            "/* Ajax-Snippet: polls RCB-Agent and updates this document"
+            " in place; see repro.core.snippet for the modelled logic. */"
+            "</script>"
+            "</head><body>"
+            "<p id='rcb-welcome'>Connected to an RCB co-browsing session. "
+            "Waiting for the host's first page...</p>%s"
+            "</body></html>"
+        ) % (_SNIPPET_SCRIPT_ID, self.poll_interval, secret_field)
+        return html_response(page)
+
+    # -- object requests (cache mode) ----------------------------------------------------------
+
+    def _object_response(self, request: HttpRequest) -> HttpResponse:
+        if not self._authenticate(request):
+            return HttpResponse(401, body=b"bad or missing hmac")
+        self.stats["object_requests"] += 1
+        target = request.path + ("?" + self._unsigned_query(request) if request.query else "")
+        cache_key = self._object_map.get(target)
+        if cache_key is None:
+            # Fall back to the key parameter directly.
+            cache_key = request.query_params().get("key")
+        if cache_key is None:
+            return HttpResponse(404, body=b"no such object mapping")
+        session = self.browser.cache.open_read_session()
+        if not session.contains(cache_key):
+            return HttpResponse(404, body=b"object not cached")
+        entry = session.read(cache_key)
+        headers = Headers([("Content-Type", entry.content_type)])
+        return HttpResponse(200, headers, entry.data)
+
+    def _unsigned_query(self, request: HttpRequest) -> str:
+        from .security import HMAC_PARAM
+
+        pairs = [
+            pair
+            for pair in request.query.split("&")
+            if pair and not pair.startswith(HMAC_PARAM + "=")
+        ]
+        return "&".join(pairs)
+
+    # -- Ajax polling requests ---------------------------------------------------------------
+
+    def _poll_response(self, request: HttpRequest, client_name: str):
+        if not self._authenticate(request):
+            return HttpResponse(401, body=b"bad or missing hmac")
+        self.stats["polls"] += 1
+
+        try:
+            payload = json.loads(request.body.decode("utf-8") or "{}")
+        except ValueError:
+            return HttpResponse(400, body=b"bad poll body")
+        participant_id = payload.get("participant") or client_name
+        participant = self._participant(participant_id)
+        participant.polls += 1
+        participant.last_poll_at = self.browser.sim.now
+        their_time = int(payload.get("timestamp", 0))
+
+        # Step 1: data merging — piggybacked participant actions.
+        try:
+            actions = decode_actions(json.dumps(payload.get("actions", [])))
+        except ActionError:
+            return HttpResponse(400, body=b"bad piggybacked actions")
+        for action in actions:
+            yield from self._moderate(participant_id, action)
+
+        # Step 2: timestamp inspection.
+        outbound = participant.outbound_actions
+        if (
+            self.long_poll_timeout is not None
+            and self._doc_time <= their_time
+            and not outbound
+        ):
+            # Long-poll ablation: hang the request until a change or the
+            # hold timeout, instead of answering empty immediately.
+            from ..sim import AnyOf
+
+            waiter = self.browser.sim.event()
+            self._change_waiters.append(waiter)
+            hold = self.browser.sim.timeout(self.long_poll_timeout)
+            yield AnyOf(self.browser.sim, [waiter, hold])
+            outbound = participant.outbound_actions
+        if self.always_resend and self.browser.page is not None:
+            participant.outbound_actions = []
+            xml = self._envelope_with_actions(outbound, participant_id)
+            participant.content_responses += 1
+            self.stats["content_responses"] += 1
+            return self._xml(xml)
+        if self._doc_time > their_time and self.browser.page is not None:
+            # Step 3: response sending, with new content.
+            participant.outbound_actions = []
+            generations_before = self._generation_count
+            xml = self._envelope_with_actions(outbound, participant_id)
+            if (
+                self.generation_cost_per_kb > 0
+                and self._generation_count > generations_before
+            ):
+                # Charge the device's CPU time for the generation run.
+                yield self.browser.sim.timeout(
+                    self.generation_cost_per_kb * len(xml) / 1024.0
+                )
+            participant.content_responses += 1
+            self.stats["content_responses"] += 1
+            return self._xml(xml)
+        if outbound:
+            participant.outbound_actions = []
+            xml = self._action_only_envelope(outbound)
+            return self._xml(xml)
+        # No new content: empty response to avoid hanging requests.
+        self.stats["empty_responses"] += 1
+        return self._xml("")
+
+    @staticmethod
+    def _xml(body_text: str) -> HttpResponse:
+        headers = Headers([("Content-Type", "application/xml; charset=utf-8")])
+        return HttpResponse(200, headers, body_text.encode("utf-8"))
+
+    def _participant(self, participant_id: str) -> ParticipantState:
+        state = self.participants.get(participant_id)
+        if state is None:
+            state = ParticipantState(participant_id, self.browser.sim.now)
+            self.participants[participant_id] = state
+            self.browser.observers.notify(TOPIC_ROSTER_CHANGED, self.roster())
+            if self.announce_presence:
+                self.broadcast_action(PresenceAction(self.roster()))
+        return state
+
+    def roster(self) -> List[str]:
+        """Connected participant ids (paper §3.3: the agent knows exactly
+        which participants are connected)."""
+        return sorted(self.participants)
+
+    def disconnect(self, participant_id: str) -> None:
+        """Forget a participant and announce the roster change."""
+        if self.participants.pop(participant_id, None) is not None:
+            self.browser.observers.notify(TOPIC_ROSTER_CHANGED, self.roster())
+            if self.announce_presence:
+                self.broadcast_action(PresenceAction(self.roster()))
+
+    # -- content generation & reuse ------------------------------------------------------------
+
+    def _ensure_generated(self, participant_id: str) -> str:
+        """(Re)generate the envelope if the document changed; returns the
+        cached XML text (with empty userActions).
+
+        Envelopes are cached per cache-mode key: participants whose
+        policy decisions coincide share one generation (paper §4.1.2's
+        generate-once-reuse, preserved within each mode group).
+        """
+        if self._generated_for_time != self._doc_time:
+            self._generated_xml = {}
+            self._generated_for_time = self._doc_time
+        mode_key = self.cache_policy.mode_key(participant_id)
+        cached = self._generated_xml.get(mode_key)
+        if cached is not None:
+            return cached
+        page = self.browser.page
+        sign_target = None
+        if self.secret is not None:
+            from .security import sign_request_target
+
+            secret = self.secret
+            sign_target = lambda target: sign_request_target(secret, "GET", target)
+        policy = self.cache_policy
+        page_url = str(page.url)
+
+        def should_cache(object_url, content_type, size):
+            return policy.use_cache_for(
+                participant_id, page_url, object_url, content_type, size
+            )
+
+        cookies_json = "[]"
+        if self.replicate_cookies:
+            cookies = self.browser.cookie_jar.cookies_for(page.url.host, page.url.path or "/")
+            cookies_json = json.dumps(
+                [
+                    {"name": c.name, "value": c.value, "host": c.host, "path": c.path}
+                    for c in cookies
+                ]
+            )
+        generated = self.generator.generate(
+            page.document,
+            page.url,
+            doc_time=self._doc_time,
+            cache_session=self.browser.cache.open_read_session(),
+            cache_mode=policy.ever_uses_cache,
+            user_actions_json="[]",
+            sign_target=sign_target,
+            should_cache=should_cache,
+            cookies_json=cookies_json,
+        )
+        self._object_map.update(generated.object_map)
+        self._generated_xml[mode_key] = generated.xml_text
+        self._generation_count += 1
+        self.stats["last_generation_seconds"] = generated.generation_seconds
+        return generated.xml_text
+
+    @property
+    def generation_count(self) -> int:
+        """How many times content generation actually ran (the envelope
+        is reused across participants; paper §4.1.2)."""
+        return self._generation_count
+
+    def _envelope_with_actions(self, actions: List[UserAction], participant_id: str) -> str:
+        xml = self._ensure_generated(participant_id)
+        if not actions:
+            return xml
+        return self._splice_actions(xml, actions)
+
+    def _action_only_envelope(self, actions: List[UserAction]) -> str:
+        from .xmlformat import NewContent, build_envelope
+
+        content = NewContent(self._doc_time, [], [], encode_actions(actions))
+        return build_envelope(content)
+
+    @staticmethod
+    def _splice_actions(xml: str, actions: List[UserAction]) -> str:
+        marker = "<userActions>"
+        index = xml.find(marker)
+        if index == -1:
+            return xml
+        prefix = xml[:index]
+        return (
+            prefix
+            + "<userActions><![CDATA["
+            + js_escape(encode_actions(actions))
+            + "]]></userActions></newContent>"
+        )
+
+    # -- action moderation and application -----------------------------------------------------
+
+    def _moderate(self, participant_id: str, action: UserAction):
+        decision = self.policy.decide(participant_id, action)
+        if decision == ModerationPolicy.APPLY:
+            try:
+                yield from self._apply_action(participant_id, action)
+            except ActionError:
+                # A stale or hostile reference (the document may have
+                # changed since the participant saw it) must not take
+                # down the agent; drop the action.
+                self.stats["action_errors"] += 1
+                return
+            self.stats["actions_applied"] += 1
+        elif decision == ModerationPolicy.HOLD:
+            self.pending_actions.append(PendingAction(participant_id, action))
+            self.stats["actions_held"] += 1
+        else:
+            self.stats["actions_dropped"] += 1
+
+    def confirm_pending(self):
+        """Host approves all held actions (ConfirmPolicy workflow).
+
+        Generator process; returns how many actions were applied.
+        """
+        held, self.pending_actions = self.pending_actions, []
+        applied = 0
+        for pending in held:
+            try:
+                yield from self._apply_action(pending.participant_id, pending.action)
+            except ActionError:
+                self.stats["action_errors"] += 1
+                continue
+            self.stats["actions_applied"] += 1
+            applied += 1
+        return applied
+
+    def reject_pending(self) -> int:
+        """Host discards all held actions."""
+        count = len(self.pending_actions)
+        self.pending_actions = []
+        self.stats["actions_dropped"] += count
+        return count
+
+    def _apply_action(self, participant_id: str, action: UserAction):
+        browser = self.browser
+        document = browser.page.document if browser.page else None
+        if document is None:
+            return
+
+        if isinstance(action, FormFillAction):
+            # Merge the participant's form data into the host's form.
+            form = resolve_reference(document, action.form_ref)
+
+            def merge(_document):
+                for name, value in action.fields.items():
+                    field = Browser._find_form_field(form, name)
+                    if field is not None:
+                        browser.fill_field(field, value)
+
+            browser.mutate_document(merge)
+        elif isinstance(action, SubmitAction):
+            form = resolve_reference(document, action.form_ref)
+            yield from browser.submit_form(form, action.fields)
+        elif isinstance(action, ClickAction):
+            element = resolve_reference(document, action.ref)
+            if element.tag == "a":
+                yield from browser.click_link(element)
+            else:
+                browser.dispatch_event(element, "click")
+        elif isinstance(action, (MouseMoveAction, ScrollAction)):
+            # Cosmetic mirroring: forward to every other participant.
+            self.broadcast_action(action, exclude=participant_id)
+        else:
+            # Presence snapshots and unknown future kinds are not
+            # participant-appliable; ignore them.
+            self.stats["action_errors"] += 1
+
+    def broadcast_action(self, action: UserAction, exclude: Optional[str] = None) -> None:
+        """Queue an action for delivery to all (other) participants —
+        used for host-side pointer mirroring and participant fan-out."""
+        for participant_id, state in self.participants.items():
+            if participant_id != exclude:
+                state.outbound_actions.append(action)
+
+    # -- authentication ---------------------------------------------------------------------------
+
+    def _authenticate(self, request: HttpRequest) -> bool:
+        if self.secret is None:
+            return True
+        try:
+            verify_request_target(self.secret, request.method, request.target, request.body)
+        except AuthError:
+            self.stats["auth_failures"] += 1
+            return False
+        return True

@@ -1,0 +1,158 @@
+"""Cache-mode policies: who gets which objects from the host's cache.
+
+The paper (§4.1.2) is explicit that switching between cache mode and
+non-cache mode "is very flexible and fully controlled by RCB-Agent":
+different participants can use different modes, different pages sent to
+one participant can use different modes, and even different objects on
+the same page can use different modes.  These policies make that
+flexibility concrete.
+
+A policy answers two questions:
+
+* :meth:`use_cache_for` — should *this object*, on *this page*, going to
+  *this participant*, be rewritten to an agent URL (served from the host
+  browser's cache) or left pointing at the origin server?
+* :meth:`mode_key` — which participants can share one generated
+  envelope?  Participants with equal keys receive byte-identical
+  content, preserving the paper's generate-once-reuse property within
+  each mode group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+__all__ = [
+    "CacheModePolicy",
+    "AlwaysCachePolicy",
+    "NeverCachePolicy",
+    "PerParticipantCachePolicy",
+    "ContentTypeCachePolicy",
+    "SizeThresholdCachePolicy",
+    "coerce_cache_policy",
+]
+
+
+class CacheModePolicy:
+    """Base class; concrete policies override the two decision hooks."""
+
+    def use_cache_for(
+        self,
+        participant_id: str,
+        page_url: str,
+        object_url: str,
+        content_type: str,
+        size: int,
+    ) -> bool:
+        """Decide whether this object is served from the host's cache."""
+        raise NotImplementedError
+
+    def mode_key(self, participant_id: str) -> str:
+        """Envelope-sharing key; default: all participants share."""
+        return "shared"
+
+    @property
+    def ever_uses_cache(self) -> bool:
+        """False lets the agent skip cache bookkeeping entirely."""
+        return True
+
+
+class AlwaysCachePolicy(CacheModePolicy):
+    """Every cached object is served from the host (the paper's cache
+    mode; the right default inside a LAN)."""
+
+    def use_cache_for(self, participant_id, page_url, object_url, content_type, size):
+        """Decide whether this object is served from the host's cache."""
+        return True
+
+
+class NeverCachePolicy(CacheModePolicy):
+    """Participants always fetch objects from the origin servers
+    (non-cache mode)."""
+
+    def use_cache_for(self, participant_id, page_url, object_url, content_type, size):
+        """Decide whether this object is served from the host's cache."""
+        return False
+
+    @property
+    def ever_uses_cache(self) -> bool:
+        """False lets the agent skip cache bookkeeping entirely."""
+        return False
+
+
+class PerParticipantCachePolicy(CacheModePolicy):
+    """Different participants use different modes (§4.1.2): e.g. the
+    participant in the same LAN uses cache mode, the remote one does not.
+    """
+
+    def __init__(self, cached_participants: Iterable[str], default: bool = False):
+        self.cached_participants: Set[str] = set(cached_participants)
+        self.default = default
+
+    def enable_for(self, participant_id: str) -> None:
+        """Switch a participant to cache mode."""
+        self.cached_participants.add(participant_id)
+
+    def disable_for(self, participant_id: str) -> None:
+        """Switch a participant to non-cache mode."""
+        self.cached_participants.discard(participant_id)
+
+    def use_cache_for(self, participant_id, page_url, object_url, content_type, size):
+        """Decide whether this object is served from the host's cache."""
+        if participant_id in self.cached_participants:
+            return True
+        return self.default
+
+    def mode_key(self, participant_id: str) -> str:
+        """Envelope-sharing key for this participant's mode group."""
+        in_cache_group = (
+            participant_id in self.cached_participants or self.default
+        )
+        return "cache" if in_cache_group else "origin"
+
+
+class ContentTypeCachePolicy(CacheModePolicy):
+    """Per-object mode by content type: e.g. serve stylesheets and
+    scripts (render-blocking) from the host, images from the origin."""
+
+    def __init__(self, cached_types: Iterable[str]):
+        self.cached_types = {t.lower() for t in cached_types}
+
+    def use_cache_for(self, participant_id, page_url, object_url, content_type, size):
+        """Decide whether this object is served from the host's cache."""
+        return (content_type or "").split(";")[0].strip().lower() in self.cached_types
+
+
+class SizeThresholdCachePolicy(CacheModePolicy):
+    """Per-object mode by size.
+
+    The interesting WAN configuration: small objects are latency-bound,
+    so the nearby host wins; large objects are bandwidth-bound, so the
+    origin's fat downlink beats the host's thin uplink.  ``max_bytes``
+    caps what the host serves (None = no cap); ``min_bytes`` sets a floor.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None, min_bytes: int = 0):
+        if max_bytes is not None and max_bytes < min_bytes:
+            raise ValueError("max_bytes below min_bytes")
+        self.max_bytes = max_bytes
+        self.min_bytes = min_bytes
+
+    def use_cache_for(self, participant_id, page_url, object_url, content_type, size):
+        """Decide whether this object is served from the host's cache."""
+        if size < self.min_bytes:
+            return False
+        if self.max_bytes is not None and size > self.max_bytes:
+            return False
+        return True
+
+
+def coerce_cache_policy(cache_mode) -> CacheModePolicy:
+    """Accept the legacy bool API or a policy instance."""
+    if isinstance(cache_mode, CacheModePolicy):
+        return cache_mode
+    if cache_mode is True:
+        return AlwaysCachePolicy()
+    if cache_mode is False:
+        return NeverCachePolicy()
+    raise TypeError("cache_mode must be a bool or a CacheModePolicy, got %r" % (cache_mode,))

@@ -1,0 +1,278 @@
+"""Response content generation — the paper's Fig. 3 pipeline.
+
+Given the host browser's current document, produce the XML envelope a
+participant needs to render the same page:
+
+1. Clone the ``documentElement`` (all later changes touch only the
+   clone; the host document is never mutated).
+2. Rewrite relative URLs of supplementary objects to absolute URLs of
+   the original web servers, using the observer-recorded download map
+   where available.
+3. In cache mode, rewrite absolute URLs of cached objects to RCB-Agent
+   URLs, so the participant browser fetches them from the host browser.
+4. Rewrite event attributes (onsubmit/onclick/onchange) to call
+   Ajax-Snippet functions, tagging each interactive element with a
+   stable reference so its actions can be resolved on the host.
+5. Extract attribute lists and innerHTML values of the top-level
+   children and assemble the Fig. 4 XML envelope.
+
+The generator runs once per new document state; the produced XML is
+reusable for every connected participant (paper §4.1.2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..browser.cache import CacheReadSession
+from ..html import Document, Element
+from ..http import quote
+from ..net.url import Url, UrlError, parse_url, resolve_url
+from .xmlformat import HeadChild, NewContent, TopElement, build_envelope
+
+__all__ = ["ContentGenerator", "GeneratedContent", "OBJECT_URL_ATTRIBUTES", "AGENT_OBJECT_PATH"]
+
+#: Attributes holding supplementary-object URLs, per tag.
+OBJECT_URL_ATTRIBUTES: Tuple[Tuple[str, str], ...] = (
+    ("img", "src"),
+    ("script", "src"),
+    ("frame", "src"),
+    ("iframe", "src"),
+    ("embed", "src"),
+    ("input", "src"),
+    ("body", "background"),
+    ("link", "href"),
+)
+
+#: Navigation attributes also made absolute (harmless, aids debugging).
+_NAVIGATION_ATTRIBUTES: Tuple[Tuple[str, str], ...] = (
+    ("a", "href"),
+    ("form", "action"),
+)
+
+#: Path on the agent that serves cached objects (cache mode).
+AGENT_OBJECT_PATH = "/obj"
+
+#: Event-attribute rewrites: tag -> (attribute, snippet call).
+_EVENT_REWRITES: Dict[str, Tuple[str, str]] = {
+    "form": ("onsubmit", "return rcbSubmit(this)"),
+    "a": ("onclick", "return rcbClick(this)"),
+    "input": ("onchange", "rcbInput(this)"),
+    "select": ("onchange", "rcbInput(this)"),
+    "textarea": ("onchange", "rcbInput(this)"),
+    "button": ("onclick", "return rcbClick(this)"),
+}
+
+#: Attribute carrying the stable element reference on rewritten elements.
+REF_ATTRIBUTE = "data-rcbref"
+
+
+class GeneratedContent:
+    """One generation result: envelope text plus bookkeeping."""
+
+    def __init__(
+        self,
+        content: NewContent,
+        xml_text: str,
+        object_map: Dict[str, str],
+        generation_seconds: float,
+        urls_rewritten: int,
+        cache_rewrites: int,
+    ):
+        self.content = content
+        self.xml_text = xml_text
+        #: agent request-URI -> cache key (the paper's mapping table).
+        self.object_map = object_map
+        #: Wall-clock time spent generating (the paper's M5 metric).
+        self.generation_seconds = generation_seconds
+        self.urls_rewritten = urls_rewritten
+        self.cache_rewrites = cache_rewrites
+
+    def __repr__(self):
+        return "GeneratedContent(%d bytes xml, %d cache objects, %.4fs)" % (
+            len(self.xml_text),
+            len(self.object_map),
+            self.generation_seconds,
+        )
+
+
+class ContentGenerator:
+    """Implements the Fig. 3 response content generation procedure."""
+
+    def __init__(self, agent_object_path: str = AGENT_OBJECT_PATH):
+        self.agent_object_path = agent_object_path
+        self.generations = 0
+
+    def generate(
+        self,
+        document: Document,
+        base_url: Url,
+        doc_time: int,
+        cache_session: Optional[CacheReadSession] = None,
+        cache_mode: bool = False,
+        url_map: Optional[Dict[str, str]] = None,
+        user_actions_json: str = "[]",
+        sign_target=None,
+        should_cache=None,
+        cookies_json: str = "[]",
+    ) -> GeneratedContent:
+        """Produce the envelope for the document's current state.
+
+        ``url_map`` maps raw attribute values to the absolute URLs the
+        observer recorded during the host's own download (Fig. 3 step 2);
+        values not in the map are resolved against ``base_url``.
+
+        ``sign_target``, when given, is applied to every agent object URL
+        written into the clone (cache mode under HMAC authentication: the
+        host signs the URLs with the shared session secret so the
+        participant browser's plain GETs verify).
+
+        ``should_cache`` refines cache mode per object: a callable
+        ``(object_url, content_type, size) -> bool`` consulted for every
+        cached object (paper §4.1.2: different objects on the same page
+        may use different modes).
+        """
+        started = time.perf_counter()
+        root = document.document_element
+        if root is None:
+            raise ValueError("document has no <html> element")
+
+        # Step 1: clone; everything below operates on the clone only.
+        clone = root.clone(deep=True)
+
+        # Steps 2-4 in one traversal.
+        object_map: Dict[str, str] = {}
+        urls_rewritten = 0
+        cache_rewrites = 0
+        tag_counters: Dict[str, int] = {}
+        for element in self._walk(clone):
+            index = tag_counters.get(element.tag, 0)
+            tag_counters[element.tag] = index + 1
+
+            rewritten = self._rewrite_urls(element, base_url, url_map)
+            urls_rewritten += rewritten
+
+            if cache_mode and cache_session is not None:
+                cache_rewrites += self._rewrite_for_cache(
+                    element, cache_session, object_map, sign_target, should_cache
+                )
+
+            self._rewrite_events(element, index)
+
+        # Step 5: extract per-child attribute lists and innerHTML values.
+        head_children: List[HeadChild] = []
+        top_elements: List[TopElement] = []
+        for child in clone.children:
+            if child.tag == "head":
+                for head_child in child.children:
+                    head_children.append(
+                        HeadChild(
+                            head_child.tag,
+                            head_child.attributes,
+                            head_child.inner_html,
+                        )
+                    )
+            elif child.tag in ("body", "frameset", "noframes"):
+                top_elements.append(
+                    TopElement(child.tag, child.attributes, child.inner_html)
+                )
+
+        content = NewContent(
+            doc_time, head_children, top_elements, user_actions_json, cookies_json
+        )
+        xml_text = build_envelope(content)
+        elapsed = time.perf_counter() - started
+        self.generations += 1
+        return GeneratedContent(
+            content, xml_text, object_map, elapsed, urls_rewritten, cache_rewrites
+        )
+
+    # -- traversal -----------------------------------------------------------------
+
+    @staticmethod
+    def _walk(root: Element):
+        """The clone root plus its descendant elements, pre-order —
+        matching the traversal order used to resolve references on the
+        host document."""
+        yield root
+        yield from root.descendant_elements()
+
+    # -- step 2: relative -> absolute ------------------------------------------------
+
+    def _rewrite_urls(
+        self, element: Element, base_url: Url, url_map: Optional[Dict[str, str]]
+    ) -> int:
+        rewritten = 0
+        for tag, attribute in OBJECT_URL_ATTRIBUTES + _NAVIGATION_ATTRIBUTES:
+            if element.tag != tag:
+                continue
+            raw = element.get_attribute(attribute)
+            if not raw:
+                continue
+            absolute = self._to_absolute(raw, base_url, url_map)
+            if absolute is not None and absolute != raw:
+                element.set_attribute(attribute, absolute)
+                rewritten += 1
+        return rewritten
+
+    @staticmethod
+    def _to_absolute(
+        raw: str, base_url: Url, url_map: Optional[Dict[str, str]]
+    ) -> Optional[str]:
+        if url_map and raw in url_map:
+            return url_map[raw]
+        try:
+            parsed = parse_url(raw)
+            if parsed.is_absolute:
+                return raw
+            return str(resolve_url(base_url, parsed))
+        except UrlError:
+            return None
+
+    # -- step 3: absolute -> agent URL (cache mode) -------------------------------------
+
+    def _rewrite_for_cache(
+        self,
+        element: Element,
+        cache_session: CacheReadSession,
+        object_map: Dict[str, str],
+        sign_target=None,
+        should_cache=None,
+    ) -> int:
+        rewritten = 0
+        for tag, attribute in OBJECT_URL_ATTRIBUTES:
+            if element.tag != tag:
+                continue
+            if tag == "link":
+                rel = (element.get_attribute("rel") or "").lower()
+                if rel not in ("stylesheet", "icon", "shortcut icon"):
+                    continue
+            if tag == "input" and element.get_attribute("type") != "image":
+                continue
+            url = element.get_attribute(attribute)
+            if not url or not cache_session.contains(url):
+                continue
+            if should_cache is not None:
+                entry = cache_session.peek(url)
+                if entry is None or not should_cache(url, entry.content_type, entry.size):
+                    continue
+            target = "%s?key=%s" % (self.agent_object_path, quote(url))
+            object_map[target] = url
+            written = sign_target(target) if sign_target is not None else target
+            element.set_attribute(attribute, written)
+            rewritten += 1
+        return rewritten
+
+    # -- step 4: event-attribute rewriting ------------------------------------------------
+
+    @staticmethod
+    def _rewrite_events(element: Element, same_tag_index: int) -> None:
+        rewrite = _EVENT_REWRITES.get(element.tag)
+        if rewrite is None:
+            return
+        attribute, call = rewrite
+        element.set_attribute(attribute, call)
+        element.set_attribute(
+            REF_ATTRIBUTE, "%s:%d" % (element.tag, same_tag_index)
+        )

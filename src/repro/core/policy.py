@@ -1,0 +1,118 @@
+"""Co-browsing moderation policies (paper §3.3).
+
+Each session is hosted and moderated by the co-browsing host.  When a
+participant's action arrives, the policy decides whether RCB-Agent
+performs it immediately, holds it for the host's explicit confirmation,
+or ignores it.  With multiple participants, the policy also decides
+*whose* interactions are allowed.  The paper deliberately leaves policy
+specification application-dependent; these classes cover the behaviours
+it names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .actions import UserAction
+
+__all__ = [
+    "ModerationPolicy",
+    "OpenPolicy",
+    "ObserveOnlyPolicy",
+    "ConfirmPolicy",
+    "AllowListPolicy",
+    "PendingAction",
+]
+
+
+class PendingAction:
+    """An action held for host confirmation."""
+
+    __slots__ = ("participant_id", "action")
+
+    def __init__(self, participant_id: str, action: UserAction):
+        self.participant_id = participant_id
+        self.action = action
+
+    def __repr__(self):
+        return "PendingAction(%s, %r)" % (self.participant_id, self.action)
+
+
+class ModerationPolicy:
+    """Decides the fate of each incoming participant action."""
+
+    #: Decision constants.
+    APPLY = "apply"
+    HOLD = "hold"
+    DROP = "drop"
+
+    def decide(self, participant_id: str, action: UserAction) -> str:
+        """Return APPLY, HOLD, or DROP for this action."""
+        raise NotImplementedError
+
+
+class OpenPolicy(ModerationPolicy):
+    """Every participant's actions are applied immediately — the typical
+    co-shopping configuration where anyone may navigate."""
+
+    def decide(self, participant_id: str, action: UserAction) -> str:
+        """Return APPLY, HOLD, or DROP for this action."""
+        return self.APPLY
+
+
+class ObserveOnlyPolicy(ModerationPolicy):
+    """Participants watch; their actions are dropped (online-training
+    style sessions where the instructor presides)."""
+
+    def decide(self, participant_id: str, action: UserAction) -> str:
+        """Return APPLY, HOLD, or DROP for this action."""
+        return self.DROP
+
+
+class ConfirmPolicy(ModerationPolicy):
+    """Actions are held until the host inspects and confirms them."""
+
+    def __init__(self, auto_apply_kinds: Tuple[str, ...] = ("mousemove", "scroll")):
+        #: Pointer/scroll mirroring is cosmetic and never needs approval.
+        self.auto_apply_kinds = frozenset(auto_apply_kinds)
+
+    def decide(self, participant_id: str, action: UserAction) -> str:
+        """Return APPLY, HOLD, or DROP for this action."""
+        if action.kind in self.auto_apply_kinds:
+            return self.APPLY
+        return self.HOLD
+
+
+class AllowListPolicy(ModerationPolicy):
+    """Only listed participants may interact; others observe.
+
+    ``interaction_kinds`` optionally restricts which action kinds are
+    allowed even for listed participants (e.g. form filling but not
+    clicking through to new pages).
+    """
+
+    def __init__(
+        self,
+        allowed_participants: Optional[Set[str]] = None,
+        interaction_kinds: Optional[Set[str]] = None,
+    ):
+        self.allowed_participants = set(allowed_participants or set())
+        self.interaction_kinds = (
+            set(interaction_kinds) if interaction_kinds is not None else None
+        )
+
+    def allow(self, participant_id: str) -> None:
+        """Grant a participant interaction rights."""
+        self.allowed_participants.add(participant_id)
+
+    def revoke(self, participant_id: str) -> None:
+        """Withdraw a participant's interaction rights."""
+        self.allowed_participants.discard(participant_id)
+
+    def decide(self, participant_id: str, action: UserAction) -> str:
+        """Return APPLY, HOLD, or DROP for this action."""
+        if participant_id not in self.allowed_participants:
+            return self.DROP
+        if self.interaction_kinds is not None and action.kind not in self.interaction_kinds:
+            return self.DROP
+        return self.APPLY

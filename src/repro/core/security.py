@@ -1,0 +1,94 @@
+"""Request authentication: session secrets and HMAC request signing.
+
+The paper's security design (§3.4): RCB-Agent generates a one-time
+session secret, shares it with participants out of band, and every
+request Ajax-Snippet sends carries an HMAC computed over the request and
+appended as an extra parameter of the request-URI.  The agent recomputes
+the HMAC (discarding the HMAC parameter itself) and compares.  Responses
+are deliberately not authenticated (the paper defers that as future
+work), and this reproduction matches that scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+from typing import Optional, Tuple
+
+__all__ = [
+    "generate_session_secret",
+    "sign_request_target",
+    "verify_request_target",
+    "compute_hmac",
+    "AuthError",
+    "HMAC_PARAM",
+]
+
+#: The request-URI parameter carrying the signature.
+HMAC_PARAM = "rcbmac"
+
+_SECRET_ALPHABET = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+class AuthError(Exception):
+    """Signature missing or invalid."""
+
+
+def generate_session_secret(length: int = 20, rng: Optional[random.Random] = None) -> str:
+    """A random one-time session secret (shared out of band, §3.4)."""
+    if length < 8:
+        raise ValueError("secret length below 8 is too weak")
+    rng = rng or random.Random()
+    return "".join(rng.choice(_SECRET_ALPHABET) for _ in range(length))
+
+
+def compute_hmac(secret: str, method: str, target: str, body: bytes = b"") -> str:
+    """HMAC-SHA256 over the canonical request representation."""
+    body_digest = hashlib.sha256(body).hexdigest()
+    canonical = "%s\n%s\n%s" % (method, target, body_digest)
+    mac = _hmac.new(secret.encode("utf-8"), canonical.encode("utf-8"), hashlib.sha256)
+    return mac.hexdigest()
+
+
+def sign_request_target(secret: str, method: str, target: str, body: bytes = b"") -> str:
+    """Return ``target`` with the HMAC appended as a URI parameter.
+
+    The signature covers the strip-normalized target (empty query parts
+    removed), matching what :func:`verify_request_target` reconstructs.
+    """
+    normalized, _existing = strip_hmac_param(target)
+    signature = compute_hmac(secret, method, normalized, body)
+    separator = "&" if "?" in target else "?"
+    return "%s%s%s=%s" % (target, separator, HMAC_PARAM, signature)
+
+
+def strip_hmac_param(target: str) -> Tuple[str, Optional[str]]:
+    """Split a signed target into (unsigned target, signature or None)."""
+    if "?" not in target:
+        return target, None
+    path, query = target.split("?", 1)
+    kept = []
+    signature = None
+    for pair in query.split("&"):
+        if pair.startswith(HMAC_PARAM + "="):
+            signature = pair[len(HMAC_PARAM) + 1 :]
+        elif pair:
+            kept.append(pair)
+    unsigned = path if not kept else path + "?" + "&".join(kept)
+    return unsigned, signature
+
+
+def verify_request_target(secret: str, method: str, target: str, body: bytes = b"") -> str:
+    """Verify a signed target; returns the unsigned target.
+
+    Raises :class:`AuthError` on a missing or mismatched signature.  The
+    comparison is constant-time.
+    """
+    unsigned, signature = strip_hmac_param(target)
+    if signature is None:
+        raise AuthError("request carries no %s parameter" % (HMAC_PARAM,))
+    expected = compute_hmac(secret, method, unsigned, body)
+    if not _hmac.compare_digest(expected, signature):
+        raise AuthError("HMAC mismatch for %s %s" % (method, unsigned))
+    return unsigned

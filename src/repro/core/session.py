@@ -1,0 +1,143 @@
+"""Co-browsing session orchestration.
+
+Ties together a host browser running :class:`~repro.core.agent.RCBAgent`
+and any number of participant browsers running
+:class:`~repro.core.snippet.AjaxSnippet`.  This is the high-level public
+API most examples and benchmarks drive:
+
+    session = CoBrowsingSession(host_browser, port=3000)
+    snippet = run(session.join(participant_browser))
+    run(session.host_navigate("http://site.com/"))
+    run(session.wait_until_synced())
+
+Topologies are free-form (paper §3.3): a browser may host one session
+and join others; participants may join or leave at any time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..browser.browser import Browser
+from ..sim import SimulationError
+from .agent import AGENT_DEFAULT_PORT, RCBAgent
+from .policy import ModerationPolicy
+from .snippet import AjaxSnippet
+
+__all__ = ["CoBrowsingSession", "SessionError"]
+
+
+class SessionError(Exception):
+    """Session-level misuse (joining twice, syncing with no page...)."""
+
+
+class CoBrowsingSession:
+    """One host-moderated co-browsing session."""
+
+    def __init__(
+        self,
+        host_browser: Browser,
+        port: int = AGENT_DEFAULT_PORT,
+        cache_mode: bool = True,
+        policy: Optional[ModerationPolicy] = None,
+        secret: Optional[str] = None,
+        poll_interval: float = 1.0,
+        agent: Optional[RCBAgent] = None,
+    ):
+        self.host_browser = host_browser
+        self.sim = host_browser.sim
+        if agent is None:
+            agent = RCBAgent(
+                port=port,
+                cache_mode=cache_mode,
+                policy=policy,
+                secret=secret,
+                poll_interval=poll_interval,
+            )
+        self.agent = agent
+        self.agent.install(host_browser)
+        self.participants: Dict[str, AjaxSnippet] = {}
+
+    # -- membership -----------------------------------------------------------------
+
+    def join(
+        self,
+        participant_browser: Browser,
+        participant_id: Optional[str] = None,
+        browser_type: str = "firefox",
+        fetch_objects: bool = True,
+    ):
+        """A participant joins: generator process returning its snippet.
+
+        The participant only needs a regular JavaScript-enabled browser;
+        everything it runs arrives with the initial page.
+        """
+        if not participant_browser.javascript_enabled:
+            raise SessionError(
+                "participant browsers must have JavaScript enabled (paper §1)"
+            )
+        snippet = AjaxSnippet(
+            participant_browser,
+            self.agent.url,
+            participant_id=participant_id,
+            secret=self.agent.secret,
+            browser_type=browser_type,
+            fetch_objects=fetch_objects,
+        )
+        yield from snippet.connect()
+        if snippet.participant_id in self.participants:
+            snippet.disconnect()
+            raise SessionError("participant id %r already joined" % snippet.participant_id)
+        self.participants[snippet.participant_id] = snippet
+        return snippet
+
+    def leave(self, snippet: AjaxSnippet) -> None:
+        """A participant leaves: stop polling, drop bookkeeping."""
+        snippet.disconnect()
+        self.participants.pop(snippet.participant_id, None)
+        self.agent.disconnect(snippet.participant_id)
+
+    def close(self) -> None:
+        """Disconnect every participant and uninstall the agent."""
+        for snippet in list(self.participants.values()):
+            self.leave(snippet)
+        self.agent.uninstall()
+
+    # -- host-side driving -------------------------------------------------------------
+
+    def host_navigate(self, url, **kwargs):
+        """Host visits a page (generator process returning the Page)."""
+        page = yield from self.host_browser.navigate(url, **kwargs)
+        return page
+
+    # -- synchronization barriers -----------------------------------------------------------
+
+    def is_synced(self, snippet: Optional[AjaxSnippet] = None) -> bool:
+        """Whether the participant(s) have the host's latest content."""
+        snippets = [snippet] if snippet is not None else list(self.participants.values())
+        return all(s.last_doc_time >= self.agent.doc_time for s in snippets)
+
+    def wait_until_synced(
+        self, snippet: Optional[AjaxSnippet] = None, timeout: float = 60.0
+    ):
+        """Generator process: block until content is synchronized.
+
+        Returns the simulated time spent waiting.  Raises
+        :class:`SessionError` after ``timeout`` simulated seconds.
+        """
+        started = self.sim.now
+        while not self.is_synced(snippet):
+            if self.sim.now - started > timeout:
+                raise SessionError("synchronization timed out")
+            yield self.sim.timeout(0.05)
+        return self.sim.now - started
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulation clock (convenience for scripts)."""
+        self.sim.run(until=self.sim.now + seconds)
+
+    def __repr__(self):
+        return "CoBrowsingSession(host=%r, %d participants)" % (
+            self.host_browser.name,
+            len(self.participants),
+        )

@@ -1,0 +1,374 @@
+"""Ajax-Snippet: the participant-side synchronization logic.
+
+In the real system Ajax-Snippet is a set of JavaScript functions shipped
+inside the initial HTML page; here it is a simulation component attached
+to a participant's browser after that page loads.  It reproduces the
+protocol exactly (paper §4.2):
+
+* Polling: each XMLHttpRequest-style POST carries the participant id,
+  the timestamp of the current content, and any piggybacked actions; a
+  new poll is scheduled only after the previous response is processed.
+* Response processing (Fig. 5): an empty response just re-arms the
+  timer; new content triggers the four-step in-place document update —
+  clean the head (keeping the snippet itself), set the head from the
+  received hChild records, remove now-useless top-level elements (body
+  vs frameset shape changes), then set the remaining top elements.
+* Event handlers the host rewrote into the content (``rcbSubmit``,
+  ``rcbClick``, ``rcbInput``) are registered in the page's script engine;
+  they cancel the default action and queue the corresponding
+  :class:`~repro.core.actions.UserAction` for the next poll.
+
+Browser-capability dispatch is modelled too: in ``firefox`` mode the
+head is updated by writing ``innerHTML`` directly; in ``ie`` mode each
+head child is rebuilt with DOM methods (createElement/appendChild), as
+the paper describes for Internet Explorer's read-only head.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..browser.browser import Browser
+from ..http import RequestFailed
+from ..html import Element
+from ..net.url import parse_url
+from ..sim import Interrupt
+from .actions import (
+    ClickAction,
+    FormFillAction,
+    MouseMoveAction,
+    ScrollAction,
+    SubmitAction,
+    UserAction,
+    decode_actions,
+)
+from .content import REF_ATTRIBUTE
+from .security import sign_request_target
+from .xmlformat import EnvelopeError, NewContent, parse_envelope
+
+__all__ = ["AjaxSnippet", "SnippetStats"]
+
+_SNIPPET_SCRIPT_ID = "ajax-snippet"
+
+
+class SnippetStats:
+    """Counters and the paper's participant-side metrics."""
+
+    def __init__(self):
+        self.polls_sent = 0
+        self.empty_responses = 0
+        self.content_updates = 0
+        self.action_only_updates = 0
+        self.actions_sent = 0
+        self.actions_received: List[UserAction] = []
+        #: M2: simulated time of the poll exchange that carried content.
+        self.last_sync_seconds = 0.0
+        #: M6: wall-clock time of the in-place document update.
+        self.last_update_seconds = 0.0
+        #: M3/M4: simulated time downloading supplementary objects.
+        self.last_objects_seconds = 0.0
+        #: Poll attempts that failed at the network level.
+        self.connection_errors = 0
+
+
+class AjaxSnippet:
+    """Participant-side poller and document updater."""
+
+    def __init__(
+        self,
+        browser: Browser,
+        agent_url: str,
+        participant_id: Optional[str] = None,
+        secret: Optional[str] = None,
+        poll_interval: Optional[float] = None,
+        browser_type: str = "firefox",
+        fetch_objects: bool = True,
+    ):
+        if browser_type not in ("firefox", "ie"):
+            raise ValueError("browser_type must be 'firefox' or 'ie'")
+        self.browser = browser
+        self.sim = browser.sim
+        self.agent_url = parse_url(agent_url)
+        if not self.agent_url.is_absolute:
+            raise ValueError("agent URL must be absolute")
+        self.participant_id = participant_id or browser.name
+        self.secret = secret
+        self.poll_interval = poll_interval  # None: use the advertised one
+        self.browser_type = browser_type
+        self.fetch_objects = fetch_objects
+
+        self.last_doc_time = 0
+        self.stats = SnippetStats()
+        #: Consecutive poll failures tolerated before giving up.
+        self.max_poll_failures = 5
+        self._consecutive_failures = 0
+        self._outgoing: List[UserAction] = []
+        self._poll_proc = None
+        self._connected = False
+        #: Called with each batch of host-mirrored actions (UI hook).
+        self.on_actions: Optional[Callable[[List[UserAction]], None]] = None
+
+    # -- connection ------------------------------------------------------------------
+
+    def connect(self):
+        """Type the agent URL into the address bar and join the session.
+
+        Generator process: loads the initial page, registers the snippet
+        handlers, and returns once the communication channel exists (the
+        polling loop is started but not yet fired).
+        """
+        page = yield from self.browser.navigate(str(self.agent_url), fetch_objects=False)
+        script = page.document.get_element_by_id(_SNIPPET_SCRIPT_ID)
+        if script is None:
+            raise RuntimeError("%s did not serve an RCB initial page" % self.agent_url)
+        if self.poll_interval is None:
+            advertised = script.get_attribute("data-poll-interval")
+            self.poll_interval = float(advertised) if advertised else 1.0
+        self._register_handlers()
+        self._connected = True
+        self._poll_proc = self.sim.process(self._poll_loop())
+        return page
+
+    def disconnect(self) -> None:
+        """Stop polling and leave the session."""
+        self._connected = False
+        if self._poll_proc is not None and self._poll_proc.is_alive:
+            self._poll_proc.interrupt("participant left")
+        self._poll_proc = None
+
+    @property
+    def connected(self) -> bool:
+        """Whether the polling channel is up."""
+        return self._connected
+
+    # -- polling loop -------------------------------------------------------------------
+
+    def _poll_loop(self):
+        try:
+            # The first request fires as soon as the initial page loaded.
+            while self._connected:
+                try:
+                    yield from self.poll_once()
+                except RequestFailed:
+                    # The host is unreachable (agent stopped, network
+                    # partition, host machine gone).  Back off and retry;
+                    # give up after a few consecutive failures — the user
+                    # would re-type the URL to rejoin.
+                    self.stats.connection_errors += 1
+                    self._consecutive_failures += 1
+                    if self._consecutive_failures > self.max_poll_failures:
+                        self._connected = False
+                        return
+                    yield self.sim.timeout(self.poll_interval)
+                    continue
+                self._consecutive_failures = 0
+                yield self.sim.timeout(self.poll_interval)
+        except Interrupt:
+            return
+
+    def poll_once(self):
+        """One polling round trip; returns True if content was applied."""
+        body = json.dumps(
+            {
+                "participant": self.participant_id,
+                "timestamp": self.last_doc_time,
+                "actions": [action.to_dict() for action in self._outgoing],
+            }
+        ).encode("utf-8")
+        self.stats.actions_sent += len(self._outgoing)
+        self._outgoing = []
+
+        target = "/poll"
+        if self.secret is not None:
+            target = sign_request_target(self.secret, "POST", target, body)
+        url = self.agent_url.replace(path=target.split("?")[0],
+                                     query=target.split("?", 1)[1] if "?" in target else None)
+        started = self.sim.now
+        response = yield from self.browser.client.post(
+            url, body, content_type="application/json"
+        )
+        self.stats.polls_sent += 1
+        if response.status != 200 or not response.body:
+            self.stats.empty_responses += 1
+            return False
+        applied = yield from self._process_response(response.text(), started)
+        return applied
+
+    def flush(self):
+        """Send queued actions immediately instead of waiting a tick."""
+        return self.poll_once()
+
+    # -- response processing (Fig. 5) ------------------------------------------------------
+
+    def _process_response(self, xml_text: str, poll_started: float):
+        try:
+            content = parse_envelope(xml_text)
+        except EnvelopeError:
+            self.stats.empty_responses += 1
+            return False
+
+        has_content = bool(content.head_children or content.top_elements)
+        if has_content:
+            sync_seconds = self.sim.now - poll_started
+            wall_started = time.perf_counter()
+            self._apply_update(content)
+            self._apply_replicated_cookies(content)
+            self.stats.last_update_seconds = time.perf_counter() - wall_started
+            self.stats.last_sync_seconds = sync_seconds
+            if self.fetch_objects:
+                elapsed = yield from self.browser.fetch_current_objects()
+                self.stats.last_objects_seconds = elapsed
+            # Only now is the participant fully rendered; advancing the
+            # timestamp earlier would let is_synced() observe a page whose
+            # supplementary objects are still in flight.
+            self.last_doc_time = content.doc_time
+            self.stats.content_updates += 1
+        else:
+            self.stats.action_only_updates += 1
+            yield self.sim.timeout(0)
+
+        self._deliver_actions(content)
+        return has_content
+
+    def _apply_update(self, content: NewContent) -> None:
+        """The four-step in-place update of the current document."""
+        document = self.browser.page.document
+        head = document.head
+        html = document.document_element
+
+        # Step 1: clean the head, always keeping Ajax-Snippet itself.
+        snippet_script = None
+        for node in list(head.child_nodes):
+            if (
+                isinstance(node, Element)
+                and node.tag == "script"
+                and node.get_attribute("id") == _SNIPPET_SCRIPT_ID
+            ):
+                snippet_script = node
+                continue
+            head.remove_child(node)
+        if snippet_script is None:  # recreate if the host page lost it
+            snippet_script = Element("script", {"id": _SNIPPET_SCRIPT_ID})
+            head.insert_before(snippet_script, head.first_child)
+
+        # Step 2: set the head from the received hChild records.
+        for record in content.head_children:
+            if self.browser_type == "firefox":
+                # Firefox: head innerHTML is writable — parse directly.
+                child = Element(record.tag, dict(record.attributes))
+                child.inner_html = record.inner_html
+            else:
+                # IE: rebuild via DOM methods (createElement/appendChild).
+                child = document.create_element(record.tag)
+                for name, value in record.attributes:
+                    child.set_attribute(name, value)
+                child.inner_html = record.inner_html
+            head.append_child(child)
+
+        # Step 3: remove top-level elements the new content obsoletes.
+        new_names = {top.name for top in content.top_elements}
+        for node in list(html.children):
+            if node.tag in ("body", "frameset", "noframes") and node.tag not in new_names:
+                html.remove_child(node)
+
+        # Step 4: set the remaining top elements, in received order.
+        for top in content.top_elements:
+            element = None
+            for node in html.children:
+                if node.tag == top.name:
+                    element = node
+                    break
+            if element is None:
+                element = Element(top.name)
+                html.append_child(element)
+            for name, _value in list(element.attributes):
+                element.remove_attribute(name)
+            for name, value in top.attributes:
+                element.set_attribute(name, value)
+            element.inner_html = top.inner_html
+
+        self.browser.page.version += 1
+
+    def _apply_replicated_cookies(self, content: NewContent) -> None:
+        """Install host-replicated cookies into this browser's jar so
+        non-cache-mode object fetches share the host's origin session."""
+        if content.cookies_json in ("", "[]"):
+            return
+        try:
+            records = json.loads(content.cookies_json)
+        except ValueError:
+            return
+        for record in records:
+            try:
+                self.browser.cookie_jar.set(
+                    record["host"], record["name"], record["value"], record.get("path", "/")
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+
+    def _deliver_actions(self, content: NewContent) -> None:
+        actions = decode_actions(content.user_actions_json)
+        if not actions:
+            return
+        self.stats.actions_received.extend(actions)
+        if self.on_actions is not None:
+            self.on_actions(actions)
+
+    # -- participant-side event handlers --------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        scripts = self.browser.page.scripts
+        scripts.register("rcbSubmit", self._on_submit)
+        scripts.register("rcbClick", self._on_click)
+        scripts.register("rcbInput", self._on_input)
+        scripts.register("rcbKeySubmit", lambda el, ev: False)
+
+    def _on_submit(self, form: Element, _event) -> bool:
+        ref = form.get_attribute(REF_ATTRIBUTE)
+        if ref:
+            fields = Browser.collect_form_fields(form)
+            self.queue_action(SubmitAction(ref, fields))
+        return False  # never navigate the participant browser
+
+    def _on_click(self, element: Element, _event) -> bool:
+        ref = element.get_attribute(REF_ATTRIBUTE)
+        if ref:
+            self.queue_action(ClickAction(ref))
+        return False
+
+    def _on_input(self, element: Element, _event) -> bool:
+        ref = self._enclosing_form_ref(element)
+        name = element.get_attribute("name")
+        if ref and name:
+            value = (
+                element.text_content
+                if element.tag == "textarea"
+                else element.get_attribute("value") or ""
+            )
+            self.queue_action(FormFillAction(ref, {name: value}))
+        return True
+
+    @staticmethod
+    def _enclosing_form_ref(element: Element) -> Optional[str]:
+        node = element
+        while node is not None:
+            if isinstance(node, Element) and node.tag == "form":
+                return node.get_attribute(REF_ATTRIBUTE)
+            node = node.parent
+        return None
+
+    # -- action queueing ----------------------------------------------------------------------------
+
+    def queue_action(self, action: UserAction) -> None:
+        """Piggyback ``action`` on the next polling request."""
+        self._outgoing.append(action)
+
+    def report_mouse_move(self, x: int, y: int) -> None:
+        """Queue a pointer-mirroring action for the next poll."""
+        self.queue_action(MouseMoveAction(x, y))
+
+    def report_scroll(self, offset: int) -> None:
+        """Queue a scroll-mirroring action for the next poll."""
+        self.queue_action(ScrollAction(offset))

@@ -1,0 +1,326 @@
+"""The XML response envelope (paper Fig. 4): build and parse.
+
+RCB-Agent answers an Ajax polling request that needs new content with an
+``application/xml`` document of this exact shape::
+
+    <?xml version='1.0' encoding='utf-8'?>
+    <newContent>
+      <docTime>documentTimestamp</docTime>
+      <docContent>
+        <docHead>
+          <hChild1><![CDATA[escape(hData1)]]></hChild1>
+          ...
+        </docHead>
+        <docBody><![CDATA[escape(bData)]]></docBody>
+        <!-- or, for frame pages -->
+        <docFrameSet><![CDATA[escape(fData)]]></docFrameSet>
+        <docNoFrames><![CDATA[escape(nData)]]></docNoFrames>
+      </docContent>
+      <userActions>userActionData</userActions>
+    </newContent>
+
+Each CDATA payload is a JavaScript-``escape()``-encoded record carrying
+an element's attribute name-value list and its innerHTML value — the
+combination of DOM structure and innerHTML performance the paper calls
+out in §4.1.2.  The escape encoding leaves no ``]``, ``<`` or ``&``
+characters in the payload, which is what makes the content "precisely
+contained" in the XML message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "NewContent",
+    "HeadChild",
+    "TopElement",
+    "build_envelope",
+    "parse_envelope",
+    "js_escape",
+    "js_unescape",
+    "EnvelopeError",
+]
+
+#: Characters JavaScript's escape() leaves unencoded.
+_JS_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789@*_+-./"
+)
+
+
+class EnvelopeError(Exception):
+    """Malformed envelope."""
+
+
+def js_escape(text: str) -> str:
+    """JavaScript ``escape()``: %XX below 256, %uXXXX above.
+
+    Like the real function, operates on UTF-16 code units: astral-plane
+    characters are emitted as a surrogate pair of %uXXXX escapes.
+    """
+    out = []
+    for char in text:
+        if char in _JS_SAFE:
+            out.append(char)
+            continue
+        code = ord(char)
+        if code < 256:
+            out.append("%%%02X" % code)
+        elif code <= 0xFFFF:
+            out.append("%%u%04X" % code)
+        else:
+            offset = code - 0x10000
+            out.append("%%u%04X" % (0xD800 + (offset >> 10)))
+            out.append("%%u%04X" % (0xDC00 + (offset & 0x3FF)))
+    return "".join(out)
+
+
+def js_unescape(text: str) -> str:
+    """Invert :func:`js_escape` (JavaScript ``unescape()``).
+
+    %uXXXX surrogate pairs are recombined into their astral character.
+    """
+    units: List[int] = []
+    out: List[str] = []
+
+    def flush_units():
+        while units:
+            unit = units.pop(0)
+            if 0xD800 <= unit <= 0xDBFF and units and 0xDC00 <= units[0] <= 0xDFFF:
+                low = units.pop(0)
+                out.append(chr(0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)))
+            else:
+                out.append(chr(unit))
+
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char != "%":
+            flush_units()
+            out.append(char)
+            index += 1
+            continue
+        if text[index + 1 : index + 2] in ("u", "U"):
+            hex_part = text[index + 2 : index + 6]
+            if len(hex_part) == 4 and _is_hex(hex_part):
+                units.append(int(hex_part, 16))
+                index += 6
+                continue
+        hex_part = text[index + 1 : index + 3]
+        if len(hex_part) == 2 and _is_hex(hex_part):
+            flush_units()
+            out.append(chr(int(hex_part, 16)))
+            index += 3
+            continue
+        flush_units()
+        out.append(char)
+        index += 1
+    flush_units()
+    return "".join(out)
+
+
+def _is_hex(text: str) -> bool:
+    return all(c in "0123456789abcdefABCDEF" for c in text)
+
+
+class HeadChild:
+    """One child element of the cloned document's head."""
+
+    __slots__ = ("tag", "attributes", "inner_html")
+
+    def __init__(self, tag: str, attributes: List[Tuple[str, str]], inner_html: str):
+        self.tag = tag
+        self.attributes = list(attributes)
+        self.inner_html = inner_html
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, HeadChild)
+            and self.tag == other.tag
+            and self.attributes == other.attributes
+            and self.inner_html == other.inner_html
+        )
+
+    def __repr__(self):
+        return "HeadChild(<%s>, %d attrs)" % (self.tag, len(self.attributes))
+
+
+class TopElement:
+    """A top-level child of the cloned document: body/frameset/noframes."""
+
+    __slots__ = ("name", "attributes", "inner_html")
+
+    def __init__(self, name: str, attributes: List[Tuple[str, str]], inner_html: str):
+        if name not in ("body", "frameset", "noframes"):
+            raise EnvelopeError("unsupported top element %r" % (name,))
+        self.name = name
+        self.attributes = list(attributes)
+        self.inner_html = inner_html
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TopElement)
+            and self.name == other.name
+            and self.attributes == other.attributes
+            and self.inner_html == other.inner_html
+        )
+
+    def __repr__(self):
+        return "TopElement(<%s>, %d attrs)" % (self.name, len(self.attributes))
+
+
+class NewContent:
+    """The decoded payload of one envelope."""
+
+    def __init__(
+        self,
+        doc_time: int,
+        head_children: Optional[List[HeadChild]] = None,
+        top_elements: Optional[List[TopElement]] = None,
+        user_actions_json: str = "[]",
+        cookies_json: str = "[]",
+    ):
+        self.doc_time = int(doc_time)
+        self.head_children = list(head_children or [])
+        self.top_elements = list(top_elements or [])
+        self.user_actions_json = user_actions_json
+        #: Optional replicated host cookies (extension feature; the
+        #: paper mentions the capability without needing it).
+        self.cookies_json = cookies_json
+
+    @property
+    def uses_frames(self) -> bool:
+        """Whether the content carries a frameset page."""
+        return any(top.name == "frameset" for top in self.top_elements)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, NewContent)
+            and self.doc_time == other.doc_time
+            and self.head_children == other.head_children
+            and self.top_elements == other.top_elements
+            and self.user_actions_json == other.user_actions_json
+            and self.cookies_json == other.cookies_json
+        )
+
+    def __repr__(self):
+        return "NewContent(t=%d, %d head children, %s)" % (
+            self.doc_time,
+            len(self.head_children),
+            "+".join(t.name for t in self.top_elements) or "empty",
+        )
+
+
+_TOP_TAG_NAMES = {"body": "docBody", "frameset": "docFrameSet", "noframes": "docNoFrames"}
+_TOP_NAME_TAGS = {v: k for k, v in _TOP_TAG_NAMES.items()}
+
+
+def build_envelope(content: NewContent) -> str:
+    """Serialize a :class:`NewContent` to the Fig. 4 XML text."""
+    parts = ["<?xml version='1.0' encoding='utf-8'?>", "<newContent>"]
+    parts.append("<docTime>%d</docTime>" % content.doc_time)
+    parts.append("<docContent>")
+    parts.append("<docHead>")
+    for index, child in enumerate(content.head_children, start=1):
+        payload = js_escape(
+            json.dumps(
+                {"tag": child.tag, "attrs": child.attributes, "inner": child.inner_html}
+            )
+        )
+        parts.append("<hChild%d><![CDATA[%s]]></hChild%d>" % (index, payload, index))
+    parts.append("</docHead>")
+    for top in content.top_elements:
+        tag = _TOP_TAG_NAMES[top.name]
+        payload = js_escape(
+            json.dumps({"attrs": top.attributes, "inner": top.inner_html})
+        )
+        parts.append("<%s><![CDATA[%s]]></%s>" % (tag, payload, tag))
+    parts.append("</docContent>")
+    parts.append(
+        "<userActions><![CDATA[%s]]></userActions>"
+        % js_escape(content.user_actions_json)
+    )
+    if content.cookies_json not in ("", "[]"):
+        parts.append(
+            "<docCookies><![CDATA[%s]]></docCookies>" % js_escape(content.cookies_json)
+        )
+    parts.append("</newContent>")
+    return "".join(parts)
+
+
+def parse_envelope(text: str) -> NewContent:
+    """Parse Fig. 4 XML text back into a :class:`NewContent`."""
+    if "<newContent>" not in text:
+        raise EnvelopeError("not a newContent envelope")
+    doc_time_text = _extract(text, "docTime")
+    if doc_time_text is None or not doc_time_text.strip().lstrip("-").isdigit():
+        raise EnvelopeError("missing or bad docTime")
+    doc_time = int(doc_time_text.strip())
+
+    head_children: List[HeadChild] = []
+    index = 1
+    while True:
+        raw = _extract(text, "hChild%d" % index)
+        if raw is None:
+            break
+        record = _decode_payload(raw)
+        try:
+            head_children.append(
+                HeadChild(record["tag"], [tuple(p) for p in record["attrs"]], record["inner"])
+            )
+        except (KeyError, TypeError) as exc:
+            raise EnvelopeError("bad hChild%d payload: %s" % (index, exc))
+        index += 1
+
+    top_elements: List[TopElement] = []
+    for tag, name in _TOP_NAME_TAGS.items():
+        raw = _extract(text, tag)
+        if raw is None:
+            continue
+        record = _decode_payload(raw)
+        try:
+            top_elements.append(
+                TopElement(name, [tuple(p) for p in record["attrs"]], record["inner"])
+            )
+        except (KeyError, TypeError) as exc:
+            raise EnvelopeError("bad %s payload: %s" % (tag, exc))
+
+    actions_raw = _extract(text, "userActions")
+    actions_json = js_unescape(_strip_cdata(actions_raw)) if actions_raw else "[]"
+    cookies_raw = _extract(text, "docCookies")
+    cookies_json = js_unescape(_strip_cdata(cookies_raw)) if cookies_raw else "[]"
+
+    return NewContent(doc_time, head_children, top_elements, actions_json, cookies_json)
+
+
+def _extract(text: str, tag: str) -> Optional[str]:
+    open_tag = "<%s>" % tag
+    close_tag = "</%s>" % tag
+    start = text.find(open_tag)
+    if start == -1:
+        return None
+    start += len(open_tag)
+    end = text.find(close_tag, start)
+    if end == -1:
+        raise EnvelopeError("unterminated <%s>" % (tag,))
+    return text[start:end]
+
+
+def _strip_cdata(raw: str) -> str:
+    raw = raw.strip()
+    if raw.startswith("<![CDATA[") and raw.endswith("]]>"):
+        return raw[len("<![CDATA[") : -len("]]>")]
+    return raw
+
+
+def _decode_payload(raw: str) -> Dict:
+    decoded = js_unescape(_strip_cdata(raw))
+    try:
+        record = json.loads(decoded)
+    except ValueError as exc:
+        raise EnvelopeError("payload is not valid JSON: %s" % (exc,))
+    if not isinstance(record, dict):
+        raise EnvelopeError("payload must be an object")
+    return record

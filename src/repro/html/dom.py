@@ -1,0 +1,369 @@
+"""DOM tree: documents, elements, text, comments.
+
+RCB-Agent's response content generation (paper Fig. 3) is DOM surgery:
+clone the ``documentElement`` of the host page, rewrite URLs and event
+attributes on the clone, then extract per-child attribute lists and
+``innerHTML`` values.  Ajax-Snippet's update procedure (Fig. 5) is the
+mirror image on the participant: set head/body innerHTML from the
+received content.  This module provides the tree those procedures
+operate on, with the innerHTML get/set semantics both depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Node",
+    "Document",
+    "Element",
+    "Text",
+    "Comment",
+    "DomError",
+    "VOID_ELEMENTS",
+    "RAW_TEXT_ELEMENTS",
+]
+
+#: Elements that never have children or an end tag.
+VOID_ELEMENTS = frozenset(
+    "area base br col embed hr img input link meta param source track wbr".split()
+)
+
+#: Elements whose text content is not entity-decoded or escaped.
+RAW_TEXT_ELEMENTS = frozenset(("script", "style"))
+
+
+class DomError(Exception):
+    """Raised for invalid tree manipulations."""
+
+
+class Node:
+    """Base class for all tree nodes."""
+
+    def __init__(self):
+        self.parent: Optional["Element"] = None
+
+    @property
+    def owner_document(self) -> Optional["Document"]:
+        """The Document this node ultimately hangs from, or None."""
+        node = self
+        while node is not None:
+            if isinstance(node, Document):
+                return node
+            node = node.parent if not isinstance(node, Document) else None
+        return None
+
+    def detach(self) -> "Node":
+        """Remove this node from its parent, if any."""
+        if self.parent is not None:
+            self.parent.remove_child(self)
+        return self
+
+    def clone(self, deep: bool = True) -> "Node":
+        """Return a copy of this node (deep copies children too)."""
+        raise NotImplementedError
+
+    def to_html(self) -> str:
+        """Serialized HTML for this node (outerHTML for elements)."""
+        from .serializer import serialize_node
+
+        return serialize_node(self)
+
+
+class Text(Node):
+    """A run of character data."""
+
+    def __init__(self, data: str):
+        super().__init__()
+        self.data = data
+
+    def clone(self, deep: bool = True) -> "Text":
+        """Return a copy of this node (deep copies children too)."""
+        return Text(self.data)
+
+    def __repr__(self) -> str:
+        preview = self.data if len(self.data) <= 30 else self.data[:27] + "..."
+        return "Text(%r)" % (preview,)
+
+
+class Comment(Node):
+    """An HTML comment."""
+
+    def __init__(self, data: str):
+        super().__init__()
+        self.data = data
+
+    def clone(self, deep: bool = True) -> "Comment":
+        """Return a copy of this node (deep copies children too)."""
+        return Comment(self.data)
+
+    def __repr__(self) -> str:
+        return "Comment(%r)" % (self.data,)
+
+
+class _ParentNode(Node):
+    """Shared child-list machinery for Element and Document."""
+
+    def __init__(self):
+        super().__init__()
+        self.child_nodes: List[Node] = []
+
+    @property
+    def children(self) -> List["Element"]:
+        """Element children only (DOM's ``children`` collection)."""
+        return [node for node in self.child_nodes if isinstance(node, Element)]
+
+    @property
+    def first_child(self) -> Optional[Node]:
+        """The first child node, or None."""
+        return self.child_nodes[0] if self.child_nodes else None
+
+    def append_child(self, node: Node) -> Node:
+        """Add ``node`` as the last child (detaching it first)."""
+        return self.insert_before(node, None)
+
+    def insert_before(self, node: Node, reference: Optional[Node]) -> Node:
+        """Insert ``node`` before ``reference`` (or append if None)."""
+        if not isinstance(node, Node):
+            raise DomError("cannot insert %r" % (node,))
+        if isinstance(node, Document):
+            raise DomError("a Document cannot be a child")
+        if node is self or self._is_descendant_of(node):
+            raise DomError("insertion would create a cycle")
+        node.detach()
+        if reference is None:
+            self.child_nodes.append(node)
+        else:
+            try:
+                index = self.child_nodes.index(reference)
+            except ValueError:
+                raise DomError("reference node is not a child")
+            self.child_nodes.insert(index, node)
+        node.parent = self
+        return node
+
+    def remove_child(self, node: Node) -> Node:
+        """Detach a direct child; raises DomError otherwise."""
+        try:
+            self.child_nodes.remove(node)
+        except ValueError:
+            raise DomError("node is not a child")
+        node.parent = None
+        return node
+
+    def replace_child(self, new: Node, old: Node) -> Node:
+        """Swap ``old`` for ``new`` in place; returns ``old``."""
+        self.insert_before(new, old)
+        self.remove_child(old)
+        return old
+
+    def remove_all_children(self) -> None:
+        """Detach every child node."""
+        for node in list(self.child_nodes):
+            self.remove_child(node)
+
+    def _is_descendant_of(self, other: Node) -> bool:
+        node = self.parent
+        while node is not None:
+            if node is other:
+                return True
+            node = node.parent
+        return False
+
+    # -- traversal -------------------------------------------------------------
+
+    def descendants(self) -> Iterator[Node]:
+        """Depth-first pre-order traversal of all descendant nodes."""
+        for child in list(self.child_nodes):
+            yield child
+            if isinstance(child, _ParentNode):
+                yield from child.descendants()
+
+    def descendant_elements(self) -> Iterator["Element"]:
+        """Depth-first pre-order traversal of descendant Elements."""
+        for node in self.descendants():
+            if isinstance(node, Element):
+                yield node
+
+    def get_elements_by_tag_name(self, tag: str) -> List["Element"]:
+        """All descendant elements with the given tag, document order."""
+        tag = tag.lower()
+        return [el for el in self.descendant_elements() if el.tag == tag]
+
+    def get_element_by_id(self, element_id: str) -> Optional["Element"]:
+        """The first descendant with a matching id attribute, or None."""
+        for element in self.descendant_elements():
+            if element.get_attribute("id") == element_id:
+                return element
+        return None
+
+    @property
+    def text_content(self) -> str:
+        """Concatenated text of every descendant Text node."""
+        parts = []
+        for node in self.descendants():
+            if isinstance(node, Text):
+                parts.append(node.data)
+        return "".join(parts)
+
+    # -- innerHTML ---------------------------------------------------------------
+
+    @property
+    def inner_html(self) -> str:
+        """This node's children as markup (get) / parsed from markup (set)."""
+        from .serializer import serialize_children
+
+        return serialize_children(self)
+
+    @inner_html.setter
+    def inner_html(self, markup: str) -> None:
+        """This node's children as markup (get) / parsed from markup (set)."""
+        from .parser import parse_fragment
+
+        context_tag = self.tag if isinstance(self, Element) else "body"
+        nodes = parse_fragment(markup, context_tag)
+        self.remove_all_children()
+        for node in nodes:
+            self.append_child(node)
+
+
+class Element(_ParentNode):
+    """An HTML element with a lowercase tag and ordered attributes."""
+
+    def __init__(self, tag: str, attributes: Optional[Dict[str, str]] = None):
+        super().__init__()
+        if not tag:
+            raise DomError("empty tag name")
+        self.tag = tag.lower()
+        self._attributes: Dict[str, str] = {}
+        if attributes:
+            for name, value in attributes.items():
+                self.set_attribute(name, value)
+
+    # -- attributes ---------------------------------------------------------------
+
+    def get_attribute(self, name: str) -> Optional[str]:
+        """The attribute's value, or None (names are case-insensitive)."""
+        return self._attributes.get(name.lower())
+
+    def set_attribute(self, name: str, value: str) -> None:
+        """Set an attribute (name lowercased; None value becomes '')."""
+        if not name:
+            raise DomError("empty attribute name")
+        self._attributes[name.lower()] = "" if value is None else str(value)
+
+    def remove_attribute(self, name: str) -> None:
+        """Delete an attribute if present."""
+        self._attributes.pop(name.lower(), None)
+
+    def has_attribute(self, name: str) -> bool:
+        """Whether the attribute exists (even if empty)."""
+        return name.lower() in self._attributes
+
+    @property
+    def attributes(self) -> List[Tuple[str, str]]:
+        """Ordered (name, value) pairs — the paper's attribute
+        name-value list carried per top-level child (Fig. 4)."""
+        return list(self._attributes.items())
+
+    # -- convenience ---------------------------------------------------------------
+
+    @property
+    def is_void(self) -> bool:
+        """Whether this element never has children or an end tag."""
+        return self.tag in VOID_ELEMENTS
+
+    @property
+    def outer_html(self) -> str:
+        """This element serialized, including its own tags."""
+        return self.to_html()
+
+    def clone(self, deep: bool = True) -> "Element":
+        """Return a copy of this node (deep copies children too)."""
+        copy = Element(self.tag, dict(self._attributes))
+        if deep:
+            for child in self.child_nodes:
+                copy.append_child(child.clone(deep=True))
+        return copy
+
+    def __repr__(self) -> str:
+        attrs = "".join(" %s=%r" % (k, v) for k, v in self._attributes.items())
+        return "<%s%s> (%d children)" % (self.tag, attrs, len(self.child_nodes))
+
+
+class Document(_ParentNode):
+    """The root of a page's DOM tree."""
+
+    def __init__(self):
+        super().__init__()
+        self.doctype: Optional[str] = None
+
+    @property
+    def document_element(self) -> Optional[Element]:
+        """The <html> root element."""
+        for child in self.children:
+            if child.tag == "html":
+                return child
+        return None
+
+    @property
+    def head(self) -> Optional[Element]:
+        """The <head> element, or None."""
+        root = self.document_element
+        if root is None:
+            return None
+        for child in root.children:
+            if child.tag == "head":
+                return child
+        return None
+
+    @property
+    def body(self) -> Optional[Element]:
+        """The <body> element, or None (frameset documents)."""
+        root = self.document_element
+        if root is None:
+            return None
+        for child in root.children:
+            if child.tag == "body":
+                return child
+        return None
+
+    @property
+    def frameset(self) -> Optional[Element]:
+        """The <frameset> element, or None (body documents)."""
+        root = self.document_element
+        if root is None:
+            return None
+        for child in root.children:
+            if child.tag == "frameset":
+                return child
+        return None
+
+    @property
+    def title(self) -> str:
+        """The text of the <title> element, or ''."""
+        head = self.head
+        if head is None:
+            return ""
+        titles = head.get_elements_by_tag_name("title")
+        return titles[0].text_content if titles else ""
+
+    def create_element(self, tag: str, **attributes: str) -> Element:
+        """Element factory; trailing underscores in kwargs are stripped (``for_``)."""
+        return Element(tag, {k.rstrip("_"): v for k, v in attributes.items()})
+
+    def create_text_node(self, data: str) -> Text:
+        """Text node factory."""
+        return Text(data)
+
+    def clone(self, deep: bool = True) -> "Document":
+        """Return a copy of this node (deep copies children too)."""
+        copy = Document()
+        copy.doctype = self.doctype
+        if deep:
+            for child in self.child_nodes:
+                copy.append_child(child.clone(deep=True))
+        return copy
+
+    def __repr__(self) -> str:
+        return "Document(title=%r, %d children)" % (self.title, len(self.child_nodes))

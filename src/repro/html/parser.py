@@ -1,0 +1,186 @@
+"""HTML tree builder: token stream to DOM.
+
+A simplified but predictable tree construction: the document is
+normalized to ``<html>`` with a ``<head>`` and either a ``<body>`` or a
+``<frameset>`` (plus optional ``<noframes>``), which is exactly the
+top-level shape RCB's XML envelope distinguishes (paper Fig. 4).
+Fragment parsing backs the ``innerHTML`` setter Ajax-Snippet uses to
+update the participant page.
+
+The builder is intentionally not a full HTML5 adoption-agency
+implementation: mis-nested end tags pop to the nearest matching open
+element, unknown end tags are ignored, and unclosed elements are closed
+at EOF — the behaviours property-tested as a serialize/parse fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .dom import Comment, Document, Element, Node, Text, VOID_ELEMENTS
+from .tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    tokenize,
+)
+
+__all__ = ["parse_document", "parse_fragment"]
+
+#: Elements that the normalizer routes into <head> when they appear
+#: before any body content.
+_HEAD_ELEMENTS = frozenset(("title", "meta", "link", "style", "base", "script"))
+
+#: <p> implies closing an open <p>; list items close their siblings.
+_SELF_CLOSING_SIBLINGS = {
+    "p": frozenset(("p",)),
+    "li": frozenset(("li",)),
+    "option": frozenset(("option",)),
+    "tr": frozenset(("tr",)),
+    "td": frozenset(("td", "th")),
+    "th": frozenset(("td", "th")),
+}
+
+
+def parse_document(markup: str) -> Document:
+    """Parse a complete HTML document, normalizing the top-level shape."""
+    document = Document()
+    builder = _TreeBuilder(document)
+    for token in tokenize(markup):
+        builder.handle(token)
+    builder.finish()
+    _normalize_document(document)
+    return document
+
+
+def parse_fragment(markup: str, context_tag: str = "body") -> List[Node]:
+    """Parse markup as it would appear inside a ``context_tag`` element.
+
+    Returns the list of parsed top-level nodes, detached (parent=None), as
+    the innerHTML setter expects.
+    """
+    container = Element(context_tag if context_tag else "body")
+    builder = _TreeBuilder(container)
+    for token in tokenize(markup):
+        builder.handle(token)
+    builder.finish()
+    nodes = list(container.child_nodes)
+    for node in nodes:
+        node.parent = None
+    container.child_nodes = []
+    return nodes
+
+
+class _TreeBuilder:
+    """Stack-based tree construction shared by document/fragment modes."""
+
+    def __init__(self, root):
+        self.root = root
+        self.stack: List[Element] = []
+
+    @property
+    def current(self):
+        """The innermost open element (or the root)."""
+        return self.stack[-1] if self.stack else self.root
+
+    def handle(self, token) -> None:
+        """Feed one token into tree construction."""
+        if isinstance(token, TextToken):
+            self._append_text(token.data)
+        elif isinstance(token, StartTagToken):
+            self._start_tag(token)
+        elif isinstance(token, EndTagToken):
+            self._end_tag(token.name)
+        elif isinstance(token, CommentToken):
+            self.current.append_child(Comment(token.data))
+        elif isinstance(token, DoctypeToken):
+            if isinstance(self.root, Document):
+                self.root.doctype = token.data
+
+    def finish(self) -> None:
+        """Close any elements left open at end of input."""
+        self.stack = []
+
+    def _append_text(self, data: str) -> None:
+        if not data:
+            return
+        current = self.current
+        # Merge adjacent text nodes so parsing is idempotent.
+        last = current.child_nodes[-1] if current.child_nodes else None
+        if isinstance(last, Text):
+            last.data += data
+        else:
+            current.append_child(Text(data))
+
+    def _start_tag(self, token: StartTagToken) -> None:
+        closes = _SELF_CLOSING_SIBLINGS.get(token.name)
+        if closes and self.stack and self.stack[-1].tag in closes:
+            self.stack.pop()
+        element = Element(token.name, token.attributes)
+        self.current.append_child(element)
+        if token.name not in VOID_ELEMENTS and not token.self_closing:
+            self.stack.append(element)
+
+    def _end_tag(self, name: str) -> None:
+        for index in range(len(self.stack) - 1, -1, -1):
+            if self.stack[index].tag == name:
+                del self.stack[index:]
+                return
+        # No matching open element: ignore the end tag.
+
+
+def _normalize_document(document: Document) -> None:
+    """Ensure the document is <html>(<head>, <body>|<frameset>[, <noframes>])."""
+    html = document.document_element
+    if html is None:
+        html = Element("html")
+        # Move any parsed top-level content under the new root.
+        strays = [n for n in list(document.child_nodes) if not isinstance(n, Comment)]
+        document.append_child(html)
+        for node in strays:
+            html.append_child(node)
+
+    # Collect direct children of <html> into head/body buckets.
+    head: Optional[Element] = None
+    body: Optional[Element] = None
+    frameset: Optional[Element] = None
+    strays: List[Node] = []
+    for node in list(html.child_nodes):
+        if isinstance(node, Element) and node.tag == "head" and head is None:
+            head = node
+        elif isinstance(node, Element) and node.tag == "body" and body is None:
+            body = node
+        elif isinstance(node, Element) and node.tag == "frameset" and frameset is None:
+            frameset = node
+        elif isinstance(node, Element) and node.tag == "noframes":
+            continue  # stays in place, after frameset
+        else:
+            strays.append(node)
+
+    if head is None:
+        head = Element("head")
+        html.insert_before(head, html.first_child)
+
+    if frameset is None and body is None:
+        body = Element("body")
+        html.append_child(body)
+
+    for node in strays:
+        if isinstance(node, Text) and not node.data.strip():
+            node.detach()
+            continue
+        if isinstance(node, Element) and node.tag in _HEAD_ELEMENTS and body is not None and not body.child_nodes:
+            node.detach()
+            head.append_child(node)
+            continue
+        if body is not None:
+            node.detach()
+            body.append_child(node)
+        elif frameset is not None and isinstance(node, Text) and not node.data.strip():
+            node.detach()
+
+    # Canonical order: head first, then body/frameset (+noframes).
+    head.detach()
+    html.insert_before(head, html.first_child)

@@ -1,0 +1,225 @@
+"""A small CSS selector engine for the DOM.
+
+Supports the selector subset that covers practically all test and
+scripting needs against the simulated web:
+
+* type, ``#id``, ``.class``, ``*``, and compound forms (``form.wide#x``)
+* attribute tests: ``[name]``, ``[name=value]``, ``[name^=v]``,
+  ``[name$=v]``, ``[name*=v]``
+* descendant combinator (whitespace) and child combinator (``>``)
+* comma-separated selector lists
+
+Examples::
+
+    select(document, "form#addressform input[name=city]")
+    select_one(page.document, "#cart-items > li")
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .dom import Element, _ParentNode
+
+__all__ = ["select", "select_one", "matches", "SelectorError"]
+
+
+class SelectorError(ValueError):
+    """Unparseable selector text."""
+
+
+class _AttributeTest:
+    __slots__ = ("name", "operator", "value")
+
+    def __init__(self, name: str, operator: Optional[str], value: Optional[str]):
+        self.name = name
+        self.operator = operator
+        self.value = value
+
+    def matches(self, element: Element) -> bool:
+        """Whether ``element`` satisfies this test/selector."""
+        actual = element.get_attribute(self.name)
+        if actual is None:
+            return False
+        if self.operator is None:
+            return True
+        if self.operator == "=":
+            return actual == self.value
+        if self.operator == "^=":
+            return actual.startswith(self.value)
+        if self.operator == "$=":
+            return actual.endswith(self.value)
+        if self.operator == "*=":
+            return self.value in actual
+        raise SelectorError("unsupported operator %r" % (self.operator,))
+
+
+class _SimpleSelector:
+    """One compound selector: tag?, #id?, .classes, [attr tests]."""
+
+    __slots__ = ("tag", "element_id", "classes", "attribute_tests")
+
+    def __init__(self):
+        self.tag: Optional[str] = None
+        self.element_id: Optional[str] = None
+        self.classes: List[str] = []
+        self.attribute_tests: List[_AttributeTest] = []
+
+    def matches(self, element: Element) -> bool:
+        """Whether ``element`` satisfies this test/selector."""
+        if self.tag is not None and self.tag != "*" and element.tag != self.tag:
+            return False
+        if self.element_id is not None and element.get_attribute("id") != self.element_id:
+            return False
+        if self.classes:
+            class_attr = (element.get_attribute("class") or "").split()
+            if any(cls not in class_attr for cls in self.classes):
+                return False
+        return all(test.matches(element) for test in self.attribute_tests)
+
+
+class _CompiledSelector:
+    """A sequence of (combinator, simple selector) steps."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps):
+        self.steps = steps  # [(combinator, _SimpleSelector)] combinator in (None, ' ', '>')
+
+    def matches(self, element: Element) -> bool:
+        """Whether ``element`` satisfies this test/selector."""
+        return self._match_from(element, len(self.steps) - 1)
+
+    def _match_from(self, element: Element, index: int) -> bool:
+        # steps[index][0] is the combinator binding this step to the
+        # previous one (None for the first step).
+        combinator, simple = self.steps[index]
+        if not simple.matches(element):
+            return False
+        if index == 0:
+            return True
+        ancestor = element.parent
+        if combinator == ">":
+            return isinstance(ancestor, Element) and self._match_from(ancestor, index - 1)
+        while isinstance(ancestor, Element):
+            if self._match_from(ancestor, index - 1):
+                return True
+            ancestor = ancestor.parent
+        return False
+
+
+def _tokenize_compound(text: str) -> _SimpleSelector:
+    simple = _SimpleSelector()
+    index = 0
+    length = len(text)
+    if not text:
+        raise SelectorError("empty compound selector")
+    while index < length:
+        char = text[index]
+        if char == "#":
+            end = _scan_name(text, index + 1)
+            if end == index + 1:
+                raise SelectorError("empty #id in %r" % (text,))
+            simple.element_id = text[index + 1 : end]
+            index = end
+        elif char == ".":
+            end = _scan_name(text, index + 1)
+            if end == index + 1:
+                raise SelectorError("empty .class in %r" % (text,))
+            simple.classes.append(text[index + 1 : end])
+            index = end
+        elif char == "[":
+            close = text.find("]", index)
+            if close == -1:
+                raise SelectorError("unterminated attribute test in %r" % (text,))
+            simple.attribute_tests.append(_parse_attribute(text[index + 1 : close]))
+            index = close + 1
+        elif char == "*":
+            simple.tag = "*"
+            index += 1
+        else:
+            end = _scan_name(text, index)
+            if end == index:
+                raise SelectorError("cannot parse %r at %r" % (text, text[index:]))
+            simple.tag = text[index:end].lower()
+            index = end
+    return simple
+
+
+def _scan_name(text: str, start: int) -> int:
+    index = start
+    while index < len(text) and (text[index].isalnum() or text[index] in "-_"):
+        index += 1
+    return index
+
+
+def _parse_attribute(body: str) -> _AttributeTest:
+    body = body.strip()
+    for operator in ("^=", "$=", "*=", "="):
+        if operator in body:
+            name, value = body.split(operator, 1)
+            value = value.strip().strip("'\"")
+            name = name.strip()
+            if not name:
+                raise SelectorError("empty attribute name in [%s]" % body)
+            return _AttributeTest(name.lower(), operator, value)
+    if not body:
+        raise SelectorError("empty attribute test")
+    return _AttributeTest(body.lower(), None, None)
+
+
+def _compile_single(selector: str) -> _CompiledSelector:
+    # Normalize child combinators to single tokens.
+    tokens: List[str] = []
+    for part in selector.replace(">", " > ").split():
+        tokens.append(part)
+    if not tokens or tokens[0] == ">" or tokens[-1] == ">":
+        raise SelectorError("bad combinator placement in %r" % (selector,))
+    steps = []
+    combinator = " "
+    expect_selector = True
+    for token in tokens:
+        if token == ">":
+            if expect_selector:
+                raise SelectorError("doubled combinator in %r" % (selector,))
+            combinator = ">"
+            expect_selector = True
+        else:
+            steps.append([combinator, _tokenize_compound(token)])
+            combinator = " "
+            expect_selector = False
+    # Each step keeps the combinator binding it to the previous step.
+    compiled = []
+    for position, (combinator_value, simple) in enumerate(steps):
+        compiled.append((combinator_value if position > 0 else None, simple))
+    return _CompiledSelector(compiled)
+
+
+def matches(element: Element, selector: str) -> bool:
+    """Whether ``element`` matches a (possibly comma-separated) selector."""
+    if not isinstance(element, Element):
+        return False
+    return any(
+        _compile_single(part.strip()).matches(element)
+        for part in selector.split(",")
+        if part.strip()
+    )
+
+
+def select(root: _ParentNode, selector: str) -> List[Element]:
+    """All descendant elements of ``root`` matching ``selector``."""
+    parts = [part.strip() for part in selector.split(",") if part.strip()]
+    if not parts:
+        raise SelectorError("empty selector")
+    compiled = [_compile_single(part) for part in parts]
+    found: List[Element] = []
+    for element in root.descendant_elements():
+        if any(one.matches(element) for one in compiled):
+            found.append(element)
+    return found
+
+
+def select_one(root: _ParentNode, selector: str) -> Optional[Element]:
+    """The first matching element, or None."""
+    results = select(root, selector)
+    return results[0] if results else None

@@ -1,0 +1,76 @@
+"""DOM to markup serialization (outerHTML / innerHTML getters).
+
+The serializer and the parser are designed as a fixed point: for any DOM
+tree, ``parse(serialize(tree))`` yields an equivalent tree, and for any
+already-parsed markup, serialize∘parse is idempotent.  RCB relies on
+this: the host extracts innerHTML strings (paper §4.1.2), ships them in
+the XML envelope, and the participant re-parses them — any drift would
+corrupt the co-browsed page on the second synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    RAW_TEXT_ELEMENTS,
+    Text,
+)
+from .entities import escape_attribute, escape_text
+
+__all__ = ["serialize_node", "serialize_children", "serialize_document"]
+
+
+def serialize_document(document: Document) -> str:
+    """Serialize a full Document (doctype + children) to markup."""
+    parts: List[str] = []
+    if document.doctype:
+        parts.append("<!%s>" % document.doctype)
+    for child in document.child_nodes:
+        _serialize_into(child, parts, raw=False)
+    return "".join(parts)
+
+
+def serialize_node(node: Node) -> str:
+    """Serialize one node to markup (outerHTML for elements)."""
+    if isinstance(node, Document):
+        return serialize_document(node)
+    parts: List[str] = []
+    _serialize_into(node, parts, raw=False)
+    return "".join(parts)
+
+
+def serialize_children(node) -> str:
+    """Serialize a node's children (the innerHTML getter)."""
+    parts: List[str] = []
+    raw = isinstance(node, Element) and node.tag in RAW_TEXT_ELEMENTS
+    for child in node.child_nodes:
+        _serialize_into(child, parts, raw=raw)
+    return "".join(parts)
+
+
+def _serialize_into(node: Node, parts: List[str], raw: bool) -> None:
+    if isinstance(node, Text):
+        parts.append(node.data if raw else escape_text(node.data))
+    elif isinstance(node, Comment):
+        parts.append("<!--%s-->" % node.data)
+    elif isinstance(node, Element):
+        parts.append("<%s" % node.tag)
+        for name, value in node.attributes:
+            if value == "":
+                parts.append(" %s" % name)
+            else:
+                parts.append(' %s="%s"' % (name, escape_attribute(value)))
+        parts.append(">")
+        if node.is_void:
+            return
+        child_raw = node.tag in RAW_TEXT_ELEMENTS
+        for child in node.child_nodes:
+            _serialize_into(child, parts, raw=child_raw)
+        parts.append("</%s>" % node.tag)
+    else:
+        raise TypeError("cannot serialize %r" % (node,))

@@ -1,0 +1,44 @@
+"""HTTP/1.1 substrate: messages, parsing, client, server, cookies."""
+
+from .cookies import Cookie, CookieJar
+from .client import HttpClient, RequestFailed
+from .message import (
+    STATUS_REASONS,
+    Headers,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    encode_form,
+    html_response,
+    quote,
+    xml_response,
+)
+from .parser import (
+    RequestParser,
+    ResponseParser,
+    parse_request_bytes,
+    parse_response_bytes,
+)
+from .server import HttpServer, serve_connection
+
+__all__ = [
+    "Cookie",
+    "CookieJar",
+    "Headers",
+    "HttpClient",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "RequestFailed",
+    "RequestParser",
+    "ResponseParser",
+    "STATUS_REASONS",
+    "encode_form",
+    "html_response",
+    "parse_request_bytes",
+    "parse_response_bytes",
+    "quote",
+    "serve_connection",
+    "xml_response",
+]

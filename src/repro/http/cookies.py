@@ -1,0 +1,100 @@
+"""A minimal cookie jar for the simulated web.
+
+Session-protected webpages are one of the paper's motivations: plain URL
+sharing fails on them because the session cookie lives only in the host
+browser (§1).  The shop workload reproduces that with real Set-Cookie /
+Cookie round trips, so the browser substrate needs a jar.  Attributes
+beyond ``Path`` (expiry, Secure, HttpOnly) are outside the simulated
+web's behaviour and are parsed but ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Cookie", "CookieJar"]
+
+
+class Cookie:
+    """A single name=value cookie scoped to (host, path)."""
+
+    __slots__ = ("name", "value", "host", "path")
+
+    def __init__(self, name: str, value: str, host: str, path: str = "/"):
+        if not name:
+            raise ValueError("cookie name must be non-empty")
+        self.name = name
+        self.value = value
+        self.host = host.lower()
+        self.path = path or "/"
+
+    def matches(self, host: str, path: str) -> bool:
+        """Whether this cookie applies to (host, path)."""
+        if host.lower() != self.host:
+            return False
+        if self.path == "/":
+            return True
+        return path == self.path or path.startswith(self.path.rstrip("/") + "/")
+
+    def __repr__(self) -> str:
+        return "Cookie(%s=%s; host=%s; path=%s)" % (
+            self.name,
+            self.value,
+            self.host,
+            self.path,
+        )
+
+
+class CookieJar:
+    """Stores cookies per host and renders the Cookie request header."""
+
+    def __init__(self):
+        self._cookies: Dict[Tuple[str, str, str], Cookie] = {}
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def store_from_header(self, host: str, set_cookie_value: str) -> Cookie:
+        """Parse a Set-Cookie header value received from ``host``."""
+        parts = [part.strip() for part in set_cookie_value.split(";")]
+        if not parts or "=" not in parts[0]:
+            raise ValueError("bad Set-Cookie value: %r" % (set_cookie_value,))
+        name, value = parts[0].split("=", 1)
+        path = "/"
+        for attribute in parts[1:]:
+            if attribute.lower().startswith("path="):
+                path = attribute[5:] or "/"
+        cookie = Cookie(name.strip(), value.strip(), host, path)
+        self._cookies[(cookie.host, cookie.path, cookie.name)] = cookie
+        return cookie
+
+    def set(self, host: str, name: str, value: str, path: str = "/") -> Cookie:
+        """Insert or replace a cookie directly."""
+        cookie = Cookie(name, value, host, path)
+        self._cookies[(cookie.host, cookie.path, cookie.name)] = cookie
+        return cookie
+
+    def cookies_for(self, host: str, path: str) -> List[Cookie]:
+        """Cookies applicable to (host, path), longest path first."""
+        matched = [c for c in self._cookies.values() if c.matches(host, path)]
+        # Longest path first, as browsers send them.
+        matched.sort(key=lambda c: (-len(c.path), c.name))
+        return matched
+
+    def cookie_header(self, host: str, path: str) -> Optional[str]:
+        """The Cookie header value for a request, or None if no match."""
+        matched = self.cookies_for(host, path)
+        if not matched:
+            return None
+        return "; ".join("%s=%s" % (c.name, c.value) for c in matched)
+
+    def get(self, host: str, name: str) -> Optional[str]:
+        """Value of the named cookie for ``host``, or None."""
+        for cookie in self._cookies.values():
+            if cookie.host == host.lower() and cookie.name == name:
+                return cookie.value
+        return None
+
+    def clear(self) -> None:
+        """Drop every stored cookie."""
+        self._cookies.clear()

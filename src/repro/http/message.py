@@ -1,0 +1,284 @@
+"""HTTP/1.1 message types: headers, requests, responses.
+
+RCB-Agent is, at heart, a tiny HTTP server embedded in a browser: it
+classifies requests by method token and request-URI (paper Fig. 2) and
+answers with ``text/html`` (initial page), ``application/xml`` (poll
+responses), or raw object bytes (cache mode).  These classes provide the
+wire representation shared by the agent, the origin web servers, and the
+browser's HTTP client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Headers", "HttpRequest", "HttpResponse", "HttpError", "STATUS_REASONS"]
+
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    505: "HTTP Version Not Supported",
+}
+
+CRLF = b"\r\n"
+
+
+class HttpError(Exception):
+    """Malformed HTTP traffic."""
+
+
+class Headers:
+    """Case-insensitive, order-preserving header collection."""
+
+    def __init__(self, items: Optional[List[Tuple[str, str]]] = None):
+        self._items: List[Tuple[str, str]] = []
+        if items:
+            for name, value in items:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header (duplicates allowed, e.g. Set-Cookie)."""
+        self._items.append((name, str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace any existing values for ``name``."""
+        self.remove(name)
+        self.add(name, value)
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value for ``name`` (case-insensitive), or ``default``."""
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        """Every value for ``name``, in insertion order."""
+        lowered = name.lower()
+        return [value for key, value in self._items if key.lower() == lowered]
+
+    def remove(self, name: str) -> None:
+        """Delete all values for ``name``."""
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return "Headers(%r)" % (self._items,)
+
+    def copy(self) -> "Headers":
+        """Independent copy of this header collection."""
+        return Headers(list(self._items))
+
+    def wire_lines(self) -> bytes:
+        """The header block serialized with CRLF line endings."""
+        return b"".join(
+            ("%s: %s" % (name, value)).encode("latin-1") + CRLF
+            for name, value in self._items
+        )
+
+
+class HttpRequest:
+    """An HTTP request: method, target (path?query), headers, body."""
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        headers: Optional[Headers] = None,
+        body: bytes = b"",
+        version: str = "HTTP/1.1",
+    ):
+        if not method or not method.isupper():
+            raise HttpError("bad method token: %r" % (method,))
+        if not target:
+            raise HttpError("empty request target")
+        self.method = method
+        self.target = target
+        self.headers = headers if headers is not None else Headers()
+        self.body = body
+        self.version = version
+        if body and "content-length" not in self.headers:
+            self.headers.set("Content-Length", str(len(body)))
+
+    @property
+    def path(self) -> str:
+        """The target's path component (before any '?')."""
+        return self.target.split("?", 1)[0]
+
+    @property
+    def query(self) -> str:
+        """The target's query string ('' when absent)."""
+        parts = self.target.split("?", 1)
+        return parts[1] if len(parts) == 2 else ""
+
+    def query_params(self) -> Dict[str, str]:
+        """Decode the query string into a dict (last value wins)."""
+        params: Dict[str, str] = {}
+        if not self.query:
+            return params
+        for pair in self.query.split("&"):
+            if not pair:
+                continue
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+            else:
+                key, value = pair, ""
+            params[_unquote(key)] = _unquote(value)
+        return params
+
+    def form_params(self) -> Dict[str, str]:
+        """Decode an application/x-www-form-urlencoded body."""
+        params: Dict[str, str] = {}
+        text = self.body.decode("utf-8", errors="replace")
+        for pair in text.split("&"):
+            if not pair:
+                continue
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+            else:
+                key, value = pair, ""
+            params[_unquote(key)] = _unquote(value)
+        return params
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection stays open after this exchange."""
+        connection = (self.headers.get("Connection") or "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the HTTP/1.1 wire format."""
+        request_line = ("%s %s %s" % (self.method, self.target, self.version)).encode(
+            "latin-1"
+        )
+        return request_line + CRLF + self.headers.wire_lines() + CRLF + self.body
+
+    def __repr__(self) -> str:
+        return "HttpRequest(%s %s, %d body bytes)" % (
+            self.method,
+            self.target,
+            len(self.body),
+        )
+
+
+class HttpResponse:
+    """An HTTP response with status, headers, and body."""
+
+    def __init__(
+        self,
+        status: int,
+        headers: Optional[Headers] = None,
+        body: bytes = b"",
+        reason: Optional[str] = None,
+        version: str = "HTTP/1.1",
+    ):
+        self.status = int(status)
+        self.reason = reason if reason is not None else STATUS_REASONS.get(status, "")
+        self.headers = headers if headers is not None else Headers()
+        self.body = body
+        self.version = version
+        if "content-length" not in self.headers:
+            self.headers.set("Content-Length", str(len(body)))
+
+    @property
+    def content_type(self) -> str:
+        """The media type, with parameters stripped."""
+        return (self.headers.get("Content-Type") or "").split(";")[0].strip().lower()
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx status codes."""
+        return 200 <= self.status < 300
+
+    def text(self, encoding: str = "utf-8") -> str:
+        """The body decoded as text."""
+        return self.body.decode(encoding, errors="replace")
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the HTTP/1.1 wire format."""
+        status_line = ("%s %d %s" % (self.version, self.status, self.reason)).encode(
+            "latin-1"
+        )
+        return status_line + CRLF + self.headers.wire_lines() + CRLF + self.body
+
+    def __repr__(self) -> str:
+        return "HttpResponse(%d %s, %s, %d body bytes)" % (
+            self.status,
+            self.reason,
+            self.content_type or "no type",
+            len(self.body),
+        )
+
+
+def html_response(body: str, status: int = 200) -> HttpResponse:
+    """Convenience: a text/html response from a string."""
+    headers = Headers([("Content-Type", "text/html; charset=utf-8")])
+    return HttpResponse(status, headers, body.encode("utf-8"))
+
+
+def xml_response(body: str, status: int = 200) -> HttpResponse:
+    """Convenience: an application/xml response (RCB poll replies)."""
+    headers = Headers([("Content-Type", "application/xml; charset=utf-8")])
+    return HttpResponse(status, headers, body.encode("utf-8"))
+
+
+def _unquote(text: str) -> str:
+    """Minimal percent- and plus-decoding for form/query values."""
+    text = text.replace("+", " ")
+    if "%" not in text:
+        return text
+    out = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "%" and index + 2 < len(text) + 1:
+            hex_part = text[index + 1 : index + 3]
+            if len(hex_part) == 2 and all(c in "0123456789abcdefABCDEF" for c in hex_part):
+                out.append(chr(int(hex_part, 16)))
+                index += 3
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def quote(text: str) -> str:
+    """Minimal percent-encoding for form/query values."""
+    safe = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.~"
+    out = []
+    for char in text:
+        if char in safe:
+            out.append(char)
+        else:
+            out.append("".join("%%%02X" % byte for byte in char.encode("utf-8")))
+    return "".join(out)
+
+
+def encode_form(params: Dict[str, str]) -> bytes:
+    """Encode a dict as application/x-www-form-urlencoded."""
+    return "&".join(
+        "%s=%s" % (quote(str(k)), quote(str(v))) for k, v in params.items()
+    ).encode("utf-8")

@@ -1,0 +1,150 @@
+"""Asynchronous HTTP server loop over simulated sockets.
+
+Used both by the origin web servers and, in spirit, by RCB-Agent (the
+agent implements its own accept/dispatch loop against the browser's
+server-socket API to mirror the paper's `nsIServerSocket` design, but the
+per-connection wire handling lives here and is shared).
+
+A handler is a callable ``handler(request, client_name)`` returning either
+an :class:`HttpResponse` directly or a generator that yields simulation
+events and returns the response — the latter lets handlers model
+processing time or perform nested I/O.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Optional
+
+from ..sim import Interrupt, Simulator, StoreClosed
+from ..net.socket import Connection, Host, ListenSocket, NetworkError
+from .message import Headers, HttpError, HttpRequest, HttpResponse
+from .parser import RequestParser
+
+__all__ = ["HttpServer", "serve_connection"]
+
+
+class HttpServer:
+    """Accept loop + per-connection request/response pump.
+
+    ``processing_delay`` models server think time: either a constant or
+    a callable ``(request) -> seconds`` (e.g. dynamic HTML pages are
+    expensive, static objects nearly free).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        handler: Callable,
+        processing_delay=0.0,
+        server_name: str = "repro-httpd",
+    ):
+        self.host = host
+        self.port = port
+        self.handler = handler
+        self.processing_delay = processing_delay
+        self.server_name = server_name
+        self.sim: Simulator = host.sim
+        self.listener: Optional[ListenSocket] = None
+        self.requests_served = 0
+        self.connections_accepted = 0
+        self._accept_proc = None
+        self._active_connections = set()
+
+    def start(self) -> "HttpServer":
+        """Bind the port and begin accepting connections."""
+        if self.listener is not None:
+            raise RuntimeError("server already started")
+        self.listener = self.host.listen(self.port)
+        self._accept_proc = self.sim.process(self._accept_loop())
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every active connection."""
+        if self.listener is not None:
+            self.listener.close()
+            self.listener = None
+        if self._accept_proc is not None and self._accept_proc.is_alive:
+            self._accept_proc.interrupt("server stopped")
+            self._accept_proc = None
+        # A stopped server drops its established connections too.
+        for connection in list(self._active_connections):
+            connection.close()
+        self._active_connections.clear()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                connection = yield self.listener.accept()
+            except (StoreClosed, Interrupt):
+                return
+            self.connections_accepted += 1
+            self.sim.process(self._serve(connection))
+
+    def _serve(self, connection: Connection):
+        self._active_connections.add(connection)
+        try:
+            yield from serve_connection(
+                self.sim,
+                connection,
+                self._dispatch,
+                server_name=self.server_name,
+            )
+        finally:
+            self._active_connections.discard(connection)
+            connection.close()
+
+    def _dispatch(self, request: HttpRequest, client_name: str):
+        delay = self.processing_delay
+        if callable(delay):
+            delay = delay(request)
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        result = self.handler(request, client_name)
+        if inspect.isgenerator(result):
+            result = yield from result
+        if not isinstance(result, HttpResponse):
+            raise TypeError("handler returned %r, not HttpResponse" % (result,))
+        self.requests_served += 1
+        return result
+
+
+def serve_connection(sim, connection, dispatch, server_name="repro-httpd"):
+    """Pump one connection: parse requests, dispatch, send responses.
+
+    ``dispatch`` is a generator function ``(request, client_name) ->
+    HttpResponse``.  The pump honours Connection: close and replies 400 to
+    malformed traffic before dropping the connection.
+    """
+    parser = RequestParser()
+    while True:
+        try:
+            chunk = yield connection.recv()
+        except StoreClosed:
+            return
+        try:
+            requests = parser.feed(chunk)
+        except HttpError as exc:
+            error_body = ("Bad request: %s" % exc).encode("utf-8")
+            response = HttpResponse(
+                400,
+                Headers([("Content-Type", "text/plain"), ("Connection", "close")]),
+                error_body,
+            )
+            try:
+                yield connection.send(response.to_bytes())
+            except NetworkError:
+                pass
+            return
+        for request in requests:
+            response = yield from dispatch(request, connection.peer_name)
+            response.headers.set("Server", server_name)
+            if not request.keep_alive:
+                response.headers.set("Connection", "close")
+            try:
+                yield connection.send(response.to_bytes())
+            except NetworkError:
+                return
+            if not request.keep_alive:
+                return

@@ -1,0 +1,100 @@
+"""Experiment harness reproducing the paper's §5.1 methodology.
+
+One *round* co-browses all 20 Table-1 homepages in a given mode (cache
+or non-cache) on a fresh testbed with cleaned caches; the procedure is
+repeated several times (the paper uses five) and per-site averages are
+reported.  The polling interval is one second, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.session import CoBrowsingSession
+from ..webserver.sites import TABLE1_SITES, SiteSpec
+from ..workloads.environments import Testbed, build_lan, build_wan
+from .metrics import SiteMeasurement, average_measurements, measure_site_cobrowsing
+
+__all__ = ["ExperimentResult", "run_round", "run_experiment", "POLL_INTERVAL"]
+
+#: The paper sets Ajax-Snippet's polling interval to one second.
+POLL_INTERVAL = 1.0
+
+
+class ExperimentResult:
+    """Per-site averaged measurements for one (environment, mode) cell."""
+
+    def __init__(self, environment: str, cache_mode: bool, rows: List[SiteMeasurement]):
+        self.environment = environment
+        self.cache_mode = cache_mode
+        self.rows = rows
+
+    def by_site(self) -> Dict[str, SiteMeasurement]:
+        """Rows indexed by site name."""
+        return {row.site: row for row in self.rows}
+
+    def sites_where(self, predicate) -> List[str]:
+        """Names of sites whose row satisfies ``predicate``."""
+        return [row.site for row in self.rows if predicate(row)]
+
+    def __repr__(self):
+        return "ExperimentResult(%s, cache=%s, %d sites)" % (
+            self.environment,
+            self.cache_mode,
+            len(self.rows),
+        )
+
+
+def run_round(
+    environment: str = "lan",
+    cache_mode: bool = True,
+    sites: Optional[Sequence[SiteSpec]] = None,
+    poll_interval: float = POLL_INTERVAL,
+) -> List[SiteMeasurement]:
+    """One round: fresh testbed, cleaned caches, visit every site once."""
+    if environment == "lan":
+        testbed = build_lan()
+    elif environment == "wan":
+        testbed = build_wan()
+    else:
+        raise ValueError("unknown environment %r" % (environment,))
+    sites = list(sites if sites is not None else TABLE1_SITES)
+
+    session = CoBrowsingSession(
+        testbed.host_browser, cache_mode=cache_mode, poll_interval=poll_interval
+    )
+    testbed.clear_caches()
+
+    measurements: List[SiteMeasurement] = []
+
+    def round_process():
+        snippet = yield from session.join(testbed.participant_browser)
+        for spec in sites:
+            row = yield from measure_site_cobrowsing(
+                testbed, session, snippet, spec.host, spec.page_kb
+            )
+            measurements.append(row)
+        session.leave(snippet)
+
+    testbed.run(round_process())
+    session.close()
+    return measurements
+
+
+def run_experiment(
+    environment: str = "lan",
+    cache_mode: bool = True,
+    repetitions: int = 5,
+    sites: Optional[Sequence[SiteSpec]] = None,
+    poll_interval: float = POLL_INTERVAL,
+) -> ExperimentResult:
+    """The full §5.1 procedure: ``repetitions`` rounds, averaged."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    sites = list(sites if sites is not None else TABLE1_SITES)
+    per_site: Dict[str, List[SiteMeasurement]] = {spec.host: [] for spec in sites}
+    for _ in range(repetitions):
+        for row in run_round(environment, cache_mode, sites, poll_interval):
+            per_site[row.site].append(row)
+    rows = [average_measurements(per_site[spec.host]) for spec in sites]
+    return ExperimentResult(environment, cache_mode, rows)

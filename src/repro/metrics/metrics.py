@@ -1,0 +1,117 @@
+"""The paper's six performance metrics (§5.1.1).
+
+* **M1** — time for the host browser to load the HTML document of a
+  homepage from its web server.
+* **M2** — time for the participant browser to load the content of the
+  same HTML document from the host browser.
+* **M3** — time for the participant browser to download the page's
+  supplementary objects in non-cache mode (from the origin servers).
+* **M4** — the same download in cache mode (from the host browser).
+* **M5** — time for the host browser to generate the response content
+  for an HTML document (Fig. 3 procedure) — wall-clock, measured on the
+  real Python implementation.
+* **M6** — time for the participant browser to update its document from
+  the new content (Fig. 5 procedure) — wall-clock.
+
+M1–M4 are simulated-network quantities; M5/M6 are real compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["SiteMeasurement", "average_measurements", "measure_site_cobrowsing"]
+
+
+class SiteMeasurement:
+    """All six metrics for one homepage visit."""
+
+    __slots__ = ("site", "page_kb", "m1", "m2", "m3", "m4", "m5", "m6", "cache_mode")
+
+    def __init__(
+        self,
+        site: str,
+        page_kb: float,
+        m1: float,
+        m2: float,
+        m3: Optional[float],
+        m4: Optional[float],
+        m5: float,
+        m6: float,
+        cache_mode: bool,
+    ):
+        self.site = site
+        self.page_kb = page_kb
+        self.m1 = m1
+        self.m2 = m2
+        self.m3 = m3
+        self.m4 = m4
+        self.m5 = m5
+        self.m6 = m6
+        self.cache_mode = cache_mode
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (for serialization and reporting)."""
+        return {
+            "site": self.site,
+            "page_kb": self.page_kb,
+            "m1": self.m1,
+            "m2": self.m2,
+            "m3": self.m3,
+            "m4": self.m4,
+            "m5": self.m5,
+            "m6": self.m6,
+            "cache_mode": self.cache_mode,
+        }
+
+    def __repr__(self):
+        return "SiteMeasurement(%s: m1=%.3f m2=%.3f)" % (self.site, self.m1, self.m2)
+
+
+def measure_site_cobrowsing(testbed, session, snippet, site_host: str, page_kb: float):
+    """Generator process: co-browse one homepage and collect the metrics.
+
+    The caller controls cache-vs-non-cache mode through the session's
+    agent configuration; this routine records whichever of M3/M4 applies.
+    """
+    page = yield from session.host_navigate("http://%s/" % site_host)
+    yield from session.wait_until_synced(snippet, timeout=600)
+
+    cache_mode = session.agent.cache_mode
+    objects_time = snippet.stats.last_objects_seconds
+    return SiteMeasurement(
+        site=site_host,
+        page_kb=page_kb,
+        m1=page.html_load_time,
+        m2=snippet.stats.last_sync_seconds,
+        m3=None if cache_mode else objects_time,
+        m4=objects_time if cache_mode else None,
+        m5=session.agent.stats["last_generation_seconds"],
+        m6=snippet.stats.last_update_seconds,
+        cache_mode=cache_mode,
+    )
+
+
+def average_measurements(rows: List[SiteMeasurement]) -> SiteMeasurement:
+    """Average repeated measurements of the same site."""
+    if not rows:
+        raise ValueError("no measurements to average")
+    site = rows[0].site
+    if any(r.site != site for r in rows):
+        raise ValueError("measurements are for different sites")
+
+    def mean(values):
+        values = [v for v in values if v is not None]
+        return sum(values) / len(values) if values else None
+
+    return SiteMeasurement(
+        site=site,
+        page_kb=rows[0].page_kb,
+        m1=mean([r.m1 for r in rows]),
+        m2=mean([r.m2 for r in rows]),
+        m3=mean([r.m3 for r in rows]),
+        m4=mean([r.m4 for r in rows]),
+        m5=mean([r.m5 for r in rows]),
+        m6=mean([r.m6 for r in rows]),
+        cache_mode=rows[0].cache_mode,
+    )

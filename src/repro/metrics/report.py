@@ -1,0 +1,114 @@
+"""Text renderers for the paper's figures and tables.
+
+The benchmark harness prints the same rows/series the paper reports:
+Figure 6/7 (M1 vs M2 per site), Figure 8 (M3 vs M4 per site), Table 1
+(page size, M5 non-cache, M5 cache, M6), and the derived shape claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import SiteMeasurement
+
+__all__ = [
+    "render_figure_m1_m2",
+    "render_figure_m3_m4",
+    "render_table1",
+    "render_shape_checks",
+    "bar",
+]
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    """A crude text bar for figure-style output."""
+    if scale <= 0:
+        return ""
+    filled = int(round(min(value / scale, 1.0) * width))
+    return "#" * filled
+
+
+def render_figure_m1_m2(
+    rows: Sequence[SiteMeasurement], environment: str
+) -> str:
+    """Figure 6/7: per-site HTML document load time, M1 vs M2."""
+    scale = max(max(r.m1 for r in rows), max(r.m2 for r in rows))
+    lines = [
+        "Figure (%s): HTML document load time — M1 (host<-server) vs M2 (participant<-host)"
+        % environment,
+        "%-4s %-16s %9s %9s  %s" % ("#", "site", "M1 (s)", "M2 (s)", "bars: M1 then M2"),
+    ]
+    for index, row in enumerate(rows, start=1):
+        lines.append(
+            "%-4d %-16s %9.3f %9.3f  |%s" % (index, row.site, row.m1, row.m2, bar(row.m1, scale))
+        )
+        lines.append("%-4s %-16s %9s %9s  |%s" % ("", "", "", "", bar(row.m2, scale)))
+    faster = sum(1 for r in rows if r.m2 < r.m1)
+    lines.append(
+        "M2 < M1 on %d of %d sites; max M2 = %.3f s"
+        % (faster, len(rows), max(r.m2 for r in rows))
+    )
+    return "\n".join(lines)
+
+
+def render_figure_m3_m4(
+    non_cache_rows: Sequence[SiteMeasurement],
+    cache_rows: Sequence[SiteMeasurement],
+    environment: str,
+) -> str:
+    """Figure 8: supplementary-object download time, M3 vs M4."""
+    cache_by_site = {r.site: r for r in cache_rows}
+    pairs = [(r, cache_by_site[r.site]) for r in non_cache_rows if r.site in cache_by_site]
+    scale = max(
+        max((r.m3 or 0.0) for r, _c in pairs), max((c.m4 or 0.0) for _r, c in pairs)
+    )
+    lines = [
+        "Figure (%s): supplementary object download — M3 (origin) vs M4 (host cache)"
+        % environment,
+        "%-4s %-16s %9s %9s %8s" % ("#", "site", "M3 (s)", "M4 (s)", "gain"),
+    ]
+    for index, (non_cache, cache) in enumerate(pairs, start=1):
+        m3 = non_cache.m3 or 0.0
+        m4 = cache.m4 or 0.0
+        gain = (m3 / m4) if m4 > 0 else float("inf")
+        lines.append(
+            "%-4d %-16s %9.3f %9.3f %7.2fx" % (index, non_cache.site, m3, m4, gain)
+        )
+    wins = sum(1 for nc, c in pairs if (c.m4 or 0) < (nc.m3 or 0))
+    lines.append("M4 < M3 on %d of %d sites" % (wins, len(pairs)))
+    return "\n".join(lines)
+
+
+def render_table1(
+    non_cache_rows: Sequence[SiteMeasurement],
+    cache_rows: Sequence[SiteMeasurement],
+) -> str:
+    """Table 1: homepage size and processing time of the 20 sites."""
+    cache_by_site = {r.site: r for r in cache_rows}
+    lines = [
+        "Table 1: homepage size and processing time",
+        "%-4s %-16s %10s %14s %12s %10s"
+        % ("#", "site", "size (KB)", "M5 non-cache", "M5 cache", "M6"),
+    ]
+    for index, row in enumerate(non_cache_rows, start=1):
+        cache_row = cache_by_site.get(row.site)
+        lines.append(
+            "%-4d %-16s %10.1f %13.4fs %11.4fs %9.4fs"
+            % (
+                index,
+                row.site,
+                row.page_kb,
+                row.m5,
+                cache_row.m5 if cache_row else float("nan"),
+                row.m6,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_shape_checks(checks: Dict[str, bool]) -> str:
+    """A PASS/FAIL list for the paper's qualitative claims."""
+    lines = ["Shape checks (paper claim -> this reproduction):"]
+    for name, passed in checks.items():
+        lines.append("  [%s] %s" % ("PASS" if passed else "FAIL", name))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Simulated network substrate: URLs, links, sockets, NAT."""
+
+from .link import (
+    LAN_PROFILE,
+    MOBILE_WIFI_PROFILE,
+    SERVER_PROFILE,
+    WAN_HOME_PROFILE,
+    AccessLink,
+    DirectionalChannel,
+    LinkProfile,
+)
+from .nat import NatGateway
+from .socket import (
+    INTERNET_CORE_LATENCY,
+    Connection,
+    ConnectionRefused,
+    Host,
+    HostUnreachable,
+    ListenSocket,
+    Network,
+    NetworkError,
+)
+from .url import Url, UrlError, parse_url, resolve_url
+
+__all__ = [
+    "AccessLink",
+    "Connection",
+    "ConnectionRefused",
+    "DirectionalChannel",
+    "Host",
+    "HostUnreachable",
+    "INTERNET_CORE_LATENCY",
+    "LAN_PROFILE",
+    "LinkProfile",
+    "MOBILE_WIFI_PROFILE",
+    "ListenSocket",
+    "NatGateway",
+    "Network",
+    "NetworkError",
+    "SERVER_PROFILE",
+    "Url",
+    "UrlError",
+    "WAN_HOME_PROFILE",
+    "parse_url",
+    "resolve_url",
+]

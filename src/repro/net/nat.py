@@ -1,0 +1,55 @@
+"""NAT gateway with static port forwarding.
+
+The paper's direct communication model (§3.2.1) notes that a co-browsing
+host on a private address inside a LAN can still accept remote
+participants by configuring port forwarding on its gateway.  The
+:class:`NatGateway` models exactly that: it is a public host whose
+forwarded ports resolve to listeners owned by private hosts behind it.
+Private hosts (``public=False``) on a NATed segment can initiate outbound
+connections but cannot be reached directly from other segments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .link import LinkProfile
+from .socket import Host, ListenSocket, Network, NetworkError
+
+__all__ = ["NatGateway"]
+
+
+class NatGateway(Host):
+    """A publicly reachable router that forwards ports into its segment."""
+
+    def __init__(self, network: Network, name: str, profile: LinkProfile, segment: str):
+        super().__init__(network, name, profile, segment=segment, public=True)
+        self._forwards: Dict[int, Tuple[str, int]] = {}
+
+    def forward(self, external_port: int, internal_host: str, internal_port: int) -> None:
+        """Map ``external_port`` on the gateway to an internal host:port."""
+        if not 0 < external_port < 65536:
+            raise NetworkError("port out of range: %r" % (external_port,))
+        internal = self.network.lookup(internal_host)
+        if internal is None:
+            raise NetworkError("unknown internal host %r" % (internal_host,))
+        if internal.segment != self.segment:
+            raise NetworkError(
+                "host %r is not behind gateway %r" % (internal_host, self.name)
+            )
+        self._forwards[external_port] = (internal.name, internal_port)
+
+    def remove_forward(self, external_port: int) -> None:
+        """Delete a forwarding rule."""
+        self._forwards.pop(external_port, None)
+
+    def listener_on(self, port: int) -> Optional[ListenSocket]:
+        """Resolve forwarded ports to the internal host's listener."""
+        rule = self._forwards.get(port)
+        if rule is not None:
+            internal_name, internal_port = rule
+            internal = self.network.lookup(internal_name)
+            if internal is not None:
+                return internal.listener_on(internal_port)
+            return None
+        return super().listener_on(port)

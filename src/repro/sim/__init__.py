@@ -1,0 +1,33 @@
+"""Discrete-event simulation kernel used by every substrate in the repo."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Resource, Store, StoreClosed, drain
+from .trace import InstrumentedSimulator, KernelStats
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "InstrumentedSimulator",
+    "Interrupt",
+    "KernelStats",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "StoreClosed",
+    "Timeout",
+    "drain",
+]

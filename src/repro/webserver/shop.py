@@ -1,0 +1,271 @@
+"""A session-protected online shop (the Amazon.com stand-in).
+
+The paper's second usability scenario (§5.2.2) co-shops at Amazon.com:
+search, pick a laptop, add to cart, and co-fill the checkout forms.  The
+essential behaviours for RCB are (1) a session cookie that lives only in
+the host browser — so session-protected pages cannot be reached by
+sharing URLs, but co-browse fine because every origin request is made by
+the host — and (2) multi-step forms whose fields a participant can fill
+remotely.  This shop reproduces both with a deterministic catalog that
+includes the scenario's MacBook Air variants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..http import Headers, HttpRequest, HttpResponse, html_response
+from ..net.socket import Network
+from .server import OriginServer
+
+__all__ = ["Product", "ShopService", "SHOP_HOST"]
+
+SHOP_HOST = "www.amazon-sim.com"
+
+_ADDRESS_FIELDS = ("full_name", "street", "city", "state", "zip_code")
+
+
+class Product:
+    """A catalog item."""
+    __slots__ = ("product_id", "title", "price", "description")
+
+    def __init__(self, product_id: str, title: str, price: float, description: str):
+        self.product_id = product_id
+        self.title = title
+        self.price = price
+        self.description = description
+
+    def __repr__(self) -> str:
+        return "Product(%s, %r, $%.2f)" % (self.product_id, self.title, self.price)
+
+
+def _default_catalog() -> List[Product]:
+    rng = random.Random(20090614)
+    catalog = [
+        Product("mba-13-128", "MacBook Air 13-inch 128GB", 1799.00, "Newly released ultra-thin laptop."),
+        Product("mba-13-64", "MacBook Air 13-inch 64GB SSD", 2299.00, "Solid-state drive model."),
+        Product("mba-13-80", "MacBook Air 13-inch 80GB", 1699.00, "Entry configuration."),
+        Product("mbp-15", "MacBook Pro 15-inch", 1999.00, "Aluminum unibody."),
+        Product("watch-crt", "Cartier Tank Watch", 2450.00, "Classic jewelry-store watch."),
+    ]
+    adjectives = ("Wireless", "Portable", "Digital", "Classic", "Compact", "Premium")
+    nouns = ("Camera", "Headphones", "Keyboard", "Monitor", "Speaker", "Router", "Tablet")
+    for index in range(40):
+        title = "%s %s %d" % (rng.choice(adjectives), rng.choice(nouns), rng.randint(100, 999))
+        catalog.append(
+            Product(
+                "gen-%03d" % index,
+                title,
+                round(rng.uniform(19.99, 899.99), 2),
+                "A dependable %s." % title.lower(),
+            )
+        )
+    return catalog
+
+
+class _Session:
+    def __init__(self, session_id: str):
+        self.session_id = session_id
+        self.cart: List[str] = []
+        self.address: Dict[str, str] = {}
+        self.order_id: Optional[str] = None
+
+
+class ShopService:
+    """The shop's request handler and server-side state."""
+
+    def __init__(self, network: Network, host_name: str = SHOP_HOST):
+        self.host_name = host_name
+        self.catalog = _default_catalog()
+        self._by_id = {p.product_id: p for p in self.catalog}
+        self._sessions: Dict[str, _Session] = {}
+        self._session_counter = 0
+        self._order_counter = 0
+        self.server = OriginServer(network, host_name, self.handle)
+
+    # -- catalog access (used by scenario scripts) ------------------------------------
+
+    def product(self, product_id: str) -> Product:
+        """Look up a product by id."""
+        return self._by_id[product_id]
+
+    def search_catalog(self, query: str) -> List[Product]:
+        """Products whose title contains ``query`` (case-insensitive)."""
+        lowered = query.lower()
+        return [p for p in self.catalog if lowered in p.title.lower()]
+
+    def session_count(self) -> int:
+        """Number of server-side sessions ever created."""
+        return len(self._sessions)
+
+    def order_count(self) -> int:
+        """Number of completed orders."""
+        return self._order_counter
+
+    # -- request handling ------------------------------------------------------------
+
+    def handle(self, request: HttpRequest, client_name: str) -> HttpResponse:
+        """HTTP handler: route a request and manage the session cookie."""
+        session, set_cookie = self._session_for(request)
+        response = self._route(request, session)
+        if set_cookie:
+            response.headers.add(
+                "Set-Cookie", "shopsession=%s; Path=/" % session.session_id
+            )
+        return response
+
+    def _session_for(self, request: HttpRequest):
+        cookie_header = request.headers.get("Cookie") or ""
+        for pair in cookie_header.split(";"):
+            pair = pair.strip()
+            if pair.startswith("shopsession="):
+                session_id = pair[len("shopsession=") :]
+                session = self._sessions.get(session_id)
+                if session is not None:
+                    return session, False
+        self._session_counter += 1
+        session = _Session("s%06d" % self._session_counter)
+        self._sessions[session.session_id] = session
+        return session, True
+
+    def _route(self, request: HttpRequest, session: _Session) -> HttpResponse:
+        path = request.path
+        if path == "/":
+            return self._home()
+        if path == "/search":
+            return self._search(request)
+        if path.startswith("/item/"):
+            return self._item(path[len("/item/") :])
+        if path == "/cart/add" and request.method == "POST":
+            return self._cart_add(request, session)
+        if path == "/cart":
+            return self._cart(session)
+        if path == "/checkout":
+            return self._checkout(session)
+        if path == "/checkout/address" and request.method == "POST":
+            return self._checkout_address(request, session)
+        if path == "/checkout/confirm" and request.method == "POST":
+            return self._checkout_confirm(session)
+        return HttpResponse(404, body=b"not found")
+
+    # -- pages --------------------------------------------------------------------------
+
+    def _page(self, title: str, body: str) -> HttpResponse:
+        return html_response(
+            "<!DOCTYPE html><html><head><title>%s — %s</title></head>"
+            "<body><div id='topnav'><a href='/'>Home</a> <a href='/cart'>Cart</a></div>"
+            "%s</body></html>" % (title, self.host_name, body)
+        )
+
+    def _home(self) -> HttpResponse:
+        featured = "".join(
+            "<li><a href='/item/%s'>%s</a> — $%.2f</li>"
+            % (p.product_id, p.title, p.price)
+            for p in self.catalog[:6]
+        )
+        return self._page(
+            "Shop",
+            "<form id='searchform' action='/search' method='GET' onsubmit=''>"
+            "<input type='text' name='q' value=''>"
+            "<input type='submit' value='Go'></form>"
+            "<ul id='featured'>%s</ul>" % featured,
+        )
+
+    def _search(self, request: HttpRequest) -> HttpResponse:
+        query = request.query_params().get("q", "")
+        results = self.search_catalog(query)
+        items = "".join(
+            "<li class='result'><a id='result-%s' href='/item/%s'>%s</a>"
+            " — $%.2f</li>" % (p.product_id, p.product_id, p.title, p.price)
+            for p in results
+        )
+        return self._page(
+            "Search",
+            "<h1>%d results for '%s'</h1><ul id='results'>%s</ul>"
+            % (len(results), query, items),
+        )
+
+    def _item(self, product_id: str) -> HttpResponse:
+        product = self._by_id.get(product_id)
+        if product is None:
+            return HttpResponse(404, body=b"no such product")
+        return self._page(
+            product.title,
+            "<h1 id='item-title'>%s</h1><p id='item-price'>$%.2f</p><p>%s</p>"
+            "<form id='addform' action='/cart/add' method='POST' onsubmit=''>"
+            "<input type='hidden' name='item_id' value='%s'>"
+            "<input type='submit' value='Add to Cart'></form>"
+            % (product.title, product.price, product.description, product.product_id),
+        )
+
+    def _cart_add(self, request: HttpRequest, session: _Session) -> HttpResponse:
+        item_id = request.form_params().get("item_id")
+        if item_id not in self._by_id:
+            return HttpResponse(400, body=b"unknown item")
+        session.cart.append(item_id)
+        headers = Headers([("Location", "/cart")])
+        return HttpResponse(302, headers)
+
+    def _cart(self, session: _Session) -> HttpResponse:
+        if not session.cart:
+            return self._page("Cart", "<p id='cart-empty'>Your cart is empty.</p>")
+        rows = "".join(
+            "<li>%s — $%.2f</li>"
+            % (self._by_id[item].title, self._by_id[item].price)
+            for item in session.cart
+        )
+        total = sum(self._by_id[item].price for item in session.cart)
+        return self._page(
+            "Cart",
+            "<ul id='cart-items'>%s</ul><p id='cart-total'>Total: $%.2f</p>"
+            "<a id='checkout-link' href='/checkout'>Proceed to checkout</a>"
+            % (rows, total),
+        )
+
+    def _checkout(self, session: _Session) -> HttpResponse:
+        if not session.cart:
+            return self._page("Checkout", "<p id='cart-empty'>Nothing to check out.</p>")
+        fields = "".join(
+            "<label for='%s'>%s</label>"
+            "<input type='text' id='%s' name='%s' value=''><br>"
+            % (name, name.replace("_", " "), name, name)
+            for name in _ADDRESS_FIELDS
+        )
+        return self._page(
+            "Checkout",
+            "<h1>Shipping address</h1>"
+            "<form id='addressform' action='/checkout/address' method='POST' onsubmit=''>"
+            "%s<input type='submit' value='Continue'></form>" % fields,
+        )
+
+    def _checkout_address(self, request: HttpRequest, session: _Session) -> HttpResponse:
+        form = request.form_params()
+        missing = [name for name in _ADDRESS_FIELDS if not form.get(name)]
+        if missing:
+            return self._page(
+                "Checkout",
+                "<p id='address-error'>Missing fields: %s</p>" % ", ".join(missing),
+            )
+        session.address = {name: form[name] for name in _ADDRESS_FIELDS}
+        summary = "".join(
+            "<li>%s: %s</li>" % (name, session.address[name]) for name in _ADDRESS_FIELDS
+        )
+        return self._page(
+            "Confirm order",
+            "<h1>Confirm your order</h1><ul id='address-summary'>%s</ul>"
+            "<form id='confirmform' action='/checkout/confirm' method='POST' onsubmit=''>"
+            "<input type='submit' value='Place order'></form>" % summary,
+        )
+
+    def _checkout_confirm(self, session: _Session) -> HttpResponse:
+        if not session.cart or not session.address:
+            return HttpResponse(400, body=b"nothing to confirm")
+        self._order_counter += 1
+        session.order_id = "order-%05d" % self._order_counter
+        session.cart = []
+        return self._page(
+            "Order placed",
+            "<h1 id='order-complete'>Thank you!</h1>"
+            "<p id='order-id'>Your order number is %s.</p>" % session.order_id,
+        )

@@ -1,0 +1,150 @@
+"""The 20 sample sites of the paper's Table 1.
+
+Homepage HTML sizes are taken verbatim from Table 1 (in KB).  The sites
+were chosen from the Alexa top 50 with geographic/content diversity; the
+synthetic reproduction keeps the names, indices, and document sizes, and
+derives a deterministic supplementary-object population for each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..net.socket import Network
+from .pagegen import GeneratedSite, generate_site
+from .server import OriginServer, deploy_site
+
+__all__ = ["SiteSpec", "TABLE1_SITES", "generate_table1_site", "deploy_table1_sites"]
+
+
+#: One-way geographic latency penalty per region (the paper chose the
+#: 20 sites for geographic diversity; overseas servers are farther).
+REGION_LATENCY = {
+    "us-east": 0.020,
+    "us-west": 0.045,
+    "europe": 0.110,
+    "asia": 0.150,
+}
+
+
+class SiteSpec:
+    """Name, homepage size, and region of one Table 1 sample site."""
+
+    __slots__ = ("index", "host", "page_kb", "region")
+
+    def __init__(self, index: int, host: str, page_kb: float, region: str = "us-east"):
+        if region not in REGION_LATENCY:
+            raise ValueError("unknown region %r" % (region,))
+        self.index = index
+        self.host = host
+        self.page_kb = page_kb
+        self.region = region
+
+    @property
+    def extra_latency_s(self) -> float:
+        """One-way geographic latency penalty for this site's region."""
+        return REGION_LATENCY[self.region]
+
+    @property
+    def think_time_s(self) -> float:
+        """Server-side page generation time: the big 2009 portal
+        homepages were dynamically assembled, and heavier pages took
+        longer to produce."""
+        return min(0.3 + self.page_kb * 0.009, 1.5)
+
+    def __repr__(self) -> str:
+        return "SiteSpec(#%d %s, %.1f KB, %s)" % (
+            self.index,
+            self.host,
+            self.page_kb,
+            self.region,
+        )
+
+
+#: Paper Table 1: index, site name, homepage HTML size (KB).
+TABLE1_SITES: List[SiteSpec] = [
+    SiteSpec(1, "yahoo.com", 130.3, "us-west"),
+    SiteSpec(2, "google.com", 6.8, "us-west"),
+    SiteSpec(3, "youtube.com", 69.2, "us-west"),
+    SiteSpec(4, "live.com", 20.9, "us-west"),
+    SiteSpec(5, "msn.com", 49.6, "us-west"),
+    SiteSpec(6, "myspace.com", 53.2, "us-west"),
+    SiteSpec(7, "wikipedia.org", 51.7, "us-east"),
+    SiteSpec(8, "facebook.com", 23.2, "us-west"),
+    SiteSpec(9, "yahoo.co.jp", 101.4, "asia"),
+    SiteSpec(10, "ebay.com", 50.5, "us-west"),
+    SiteSpec(11, "aol.com", 71.3, "us-east"),
+    SiteSpec(12, "mail.ru", 83.8, "europe"),
+    SiteSpec(13, "amazon.com", 228.5, "us-west"),
+    SiteSpec(14, "cnn.com", 109.4, "us-east"),
+    SiteSpec(15, "espn.go.com", 110.9, "us-east"),
+    SiteSpec(16, "free.fr", 70.0, "europe"),
+    SiteSpec(17, "adobe.com", 37.3, "us-west"),
+    SiteSpec(18, "apple.com", 10.0, "us-west"),
+    SiteSpec(19, "about.com", 35.8, "us-east"),
+    SiteSpec(20, "nytimes.com", 120.0, "us-east"),
+]
+
+_SITE_CACHE: Dict[str, GeneratedSite] = {}
+
+
+def generate_table1_site(spec: SiteSpec) -> GeneratedSite:
+    """Generate (and memoize) the synthetic homepage for a Table 1 site.
+
+    Generation is deterministic, so memoizing is purely a speed-up for
+    benchmark harnesses that rebuild the testbed repeatedly.
+    """
+    cached = _SITE_CACHE.get(spec.host)
+    if cached is None:
+        cached = generate_site(spec.host, spec.page_kb)
+        _SITE_CACHE[spec.host] = cached
+    return cached
+
+
+def deploy_table1_sites(network: Network) -> Dict[str, OriginServer]:
+    """Deploy all 20 sample sites onto a simulated network, each with its
+    region's latency penalty and its size-dependent server think time.
+
+    As in the 2009 web, the bare domain 301-redirects to the canonical
+    ``www.`` host — a cost every cold page fetch (M1) pays and the warm
+    RCB polling channel never does.
+    """
+    from ..http import Headers, HttpResponse
+    from .server import StaticSite
+
+    servers = {}
+    for spec in TABLE1_SITES:
+        generated = generate_table1_site(spec)
+        site = StaticSite.from_generated(generated)
+        canonical = "www." + spec.host
+        # Only the dynamically-generated homepage pays the think time;
+        # static supplementary objects are served nearly instantly.
+        think = spec.think_time_s
+
+        def page_delay(request, think=think):
+            if request.path in ("/", "/index.html"):
+                return think
+            # Static objects still cost a 2009-typical per-request
+            # server response time.
+            return 0.12
+
+        servers[spec.host] = OriginServer(
+            network,
+            canonical,
+            site.handle,
+            extra_latency_s=spec.extra_latency_s,
+            processing_delay=page_delay,
+        )
+
+        def redirect(request, client_name, target=canonical):
+            headers = Headers([("Location", "http://%s%s" % (target, request.path))])
+            return HttpResponse(301, headers)
+
+        OriginServer(
+            network,
+            spec.host,
+            redirect,
+            extra_latency_s=spec.extra_latency_s,
+            processing_delay=0.03,
+        )
+    return servers

@@ -1,0 +1,150 @@
+"""Unit tests for the browser cache and observer service."""
+
+import pytest
+
+from repro.browser import BrowserCache, CacheMiss, ObserverService
+
+
+class TestBrowserCache:
+    def test_store_and_lookup(self):
+        cache = BrowserCache()
+        cache.store("http://a.com/x.png", "image/png", b"data", now=1.0)
+        entry = cache.lookup("http://a.com/x.png")
+        assert entry.data == b"data"
+        assert entry.content_type == "image/png"
+        assert entry.stored_at == 1.0
+
+    def test_miss_returns_none_and_counts(self):
+        cache = BrowserCache()
+        assert cache.lookup("http://a.com/missing") is None
+        assert cache.miss_count == 1
+
+    def test_hit_counter_and_entry_hits(self):
+        cache = BrowserCache()
+        cache.store("k", "text/css", b"x")
+        cache.lookup("k")
+        cache.lookup("k")
+        assert cache.hit_count == 2
+        assert cache.peek("k").hits == 2
+
+    def test_store_replaces_existing(self):
+        cache = BrowserCache()
+        cache.store("k", "text/css", b"one")
+        cache.store("k", "text/css", b"twoo")
+        assert cache.lookup("k").data == b"twoo"
+        assert cache.current_bytes == 4
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = BrowserCache(max_bytes=30)
+        cache.store("a", "t", b"0" * 10)
+        cache.store("b", "t", b"0" * 10)
+        cache.store("c", "t", b"0" * 10)
+        cache.lookup("a")  # a is now most recently used
+        cache.store("d", "t", b"0" * 10)  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_size_bound_respected(self):
+        cache = BrowserCache(max_bytes=100)
+        for index in range(50):
+            cache.store("k%d" % index, "t", b"0" * 30)
+        assert cache.current_bytes <= 100
+
+    def test_oversized_object_not_cached(self):
+        cache = BrowserCache(max_bytes=10)
+        cache.store("big", "t", b"0" * 100)
+        assert "big" not in cache
+        assert cache.current_bytes == 0
+
+    def test_peek_does_not_touch_lru(self):
+        cache = BrowserCache(max_bytes=20)
+        cache.store("a", "t", b"0" * 10)
+        cache.store("b", "t", b"0" * 10)
+        cache.peek("a")
+        cache.store("c", "t", b"0" * 10)  # evicts a (peek didn't refresh it)
+        assert "a" not in cache
+
+    def test_remove_and_clear(self):
+        cache = BrowserCache()
+        cache.store("a", "t", b"12")
+        cache.remove("a")
+        assert "a" not in cache
+        assert cache.current_bytes == 0
+        cache.store("b", "t", b"34")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            BrowserCache().store("k", "t", "not bytes")
+
+    def test_bad_max_bytes(self):
+        with pytest.raises(ValueError):
+            BrowserCache(max_bytes=0)
+
+
+class TestCacheReadSession:
+    def test_read_session_reads(self):
+        cache = BrowserCache()
+        cache.store("k", "image/png", b"img")
+        session = cache.open_read_session()
+        assert session.contains("k")
+        assert session.read("k").data == b"img"
+
+    def test_read_session_miss_raises(self):
+        session = BrowserCache().open_read_session()
+        with pytest.raises(CacheMiss):
+            session.read("nope")
+
+    def test_read_session_has_no_write_surface(self):
+        session = BrowserCache().open_read_session()
+        assert not hasattr(session, "store")
+        assert not hasattr(session, "remove")
+        assert not hasattr(session, "clear")
+
+
+class TestObserverService:
+    def test_notify_invokes_observers(self):
+        service = ObserverService()
+        seen = []
+        service.add_observer("topic", lambda t, p: seen.append((t, p)))
+        count = service.notify("topic", 42)
+        assert count == 1
+        assert seen == [("topic", 42)]
+
+    def test_notify_unsubscribed_topic_is_noop(self):
+        service = ObserverService()
+        assert service.notify("ghost") == 0
+
+    def test_multiple_observers_all_called(self):
+        service = ObserverService()
+        calls = []
+        for tag in "abc":
+            service.add_observer("t", lambda _t, _p, tag=tag: calls.append(tag))
+        service.notify("t")
+        assert calls == ["a", "b", "c"]
+
+    def test_remove_observer(self):
+        service = ObserverService()
+        observer = lambda t, p: None
+        service.add_observer("t", observer)
+        service.remove_observer("t", observer)
+        assert service.observer_count("t") == 0
+
+    def test_remove_absent_observer_is_noop(self):
+        service = ObserverService()
+        service.remove_observer("t", lambda t, p: None)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            ObserverService().add_observer("t", "not callable")
+
+    def test_notifications_counter(self):
+        service = ObserverService()
+        service.add_observer("t", lambda t, p: None)
+        service.add_observer("t", lambda t, p: None)
+        service.notify("t")
+        assert service.notifications_sent == 2

@@ -1,0 +1,159 @@
+"""Tests for browser history navigation (back / forward / reload)."""
+
+import pytest
+
+from repro.browser import Browser, NavigationError
+from repro.net import LAN_PROFILE, Host, Network
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+
+def build():
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("h.com")
+    for name in ("one", "two", "three"):
+        site.add_page(
+            "/%s" % name,
+            "<html><head><title>%s</title></head><body>%s</body></html>" % (name, name),
+        )
+    OriginServer(network, "h.com", site.handle)
+    browser = Browser(Host(network, "u-pc", LAN_PROFILE, segment="lan"), name="u")
+    return sim, browser
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.process(generator))
+
+
+def visit_all(browser):
+    for name in ("one", "two", "three"):
+        yield from browser.navigate("http://h.com/%s" % name)
+
+
+class TestBackForward:
+    def test_back_returns_to_previous_page(self):
+        sim, browser = build()
+
+        def scenario():
+            yield from visit_all(browser)
+            page = yield from browser.back()
+            return page
+
+        page = run(sim, scenario())
+        assert page.document.title == "two"
+        assert browser.address_bar == "http://h.com/two"
+
+    def test_back_twice_then_forward(self):
+        sim, browser = build()
+
+        def scenario():
+            yield from visit_all(browser)
+            yield from browser.back()
+            yield from browser.back()
+            assert browser.page.document.title == "one"
+            page = yield from browser.forward()
+            return page
+
+        page = run(sim, scenario())
+        assert page.document.title == "two"
+
+    def test_back_at_start_is_noop(self):
+        sim, browser = build()
+
+        def scenario():
+            yield from browser.navigate("http://h.com/one")
+            page = yield from browser.back()
+            return page
+
+        page = run(sim, scenario())
+        assert page.document.title == "one"
+        assert not browser.can_go_back
+
+    def test_forward_at_end_is_noop(self):
+        sim, browser = build()
+
+        def scenario():
+            yield from visit_all(browser)
+            page = yield from browser.forward()
+            return page
+
+        page = run(sim, scenario())
+        assert page.document.title == "three"
+        assert not browser.can_go_forward
+
+    def test_history_preserved_across_back(self):
+        sim, browser = build()
+
+        def scenario():
+            yield from visit_all(browser)
+            yield from browser.back()
+
+        run(sim, scenario())
+        assert browser.history == [
+            "http://h.com/one",
+            "http://h.com/two",
+            "http://h.com/three",
+        ]
+        assert browser.can_go_forward
+
+    def test_new_navigation_truncates_forward_entries(self):
+        sim, browser = build()
+
+        def scenario():
+            yield from visit_all(browser)
+            yield from browser.back()
+            yield from browser.back()  # at "one"
+            yield from browser.navigate("http://h.com/three")
+
+        run(sim, scenario())
+        assert browser.history == ["http://h.com/one", "http://h.com/three"]
+        assert not browser.can_go_forward
+
+    def test_can_go_flags(self):
+        sim, browser = build()
+
+        def scenario():
+            assert not browser.can_go_back and not browser.can_go_forward
+            yield from browser.navigate("http://h.com/one")
+            assert not browser.can_go_back
+            yield from browser.navigate("http://h.com/two")
+            assert browser.can_go_back and not browser.can_go_forward
+            yield from browser.back()
+            assert not browser.can_go_back and browser.can_go_forward
+
+        run(sim, scenario())
+
+
+class TestReload:
+    def test_reload_refetches_current(self):
+        sim, browser = build()
+
+        def scenario():
+            yield from browser.navigate("http://h.com/one")
+            requests_before = browser.client.requests_sent
+            page = yield from browser.reload()
+            return page, browser.client.requests_sent - requests_before
+
+        page, extra_requests = run(sim, scenario())
+        assert page.document.title == "one"
+        assert extra_requests >= 1
+        assert browser.history == ["http://h.com/one"]
+
+    def test_reload_without_page_rejected(self):
+        sim, browser = build()
+        with pytest.raises(NavigationError):
+            list(browser.reload())
+
+    def test_reload_keeps_position_mid_history(self):
+        sim, browser = build()
+
+        def scenario():
+            yield from visit_all(browser)
+            yield from browser.back()
+            yield from browser.reload()
+
+        run(sim, scenario())
+        assert browser.page.document.title == "two"
+        assert len(browser.history) == 3
+        assert browser.can_go_back and browser.can_go_forward

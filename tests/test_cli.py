@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.webserver import TABLE1_SITES
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig6"])
+        assert args.target == "fig6"
+        assert args.repetitions == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_repetitions_flag(self):
+        args = build_parser().parse_args(["experiment", "table1", "--repetitions", "1"])
+        assert args.repetitions == 1
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "RCB-Agent" in out
+        assert "Synchronized" in out
+
+    def test_sites_lists_all_twenty(self, capsys):
+        assert main(["sites"]) == 0
+        out = capsys.readouterr().out
+        for spec in TABLE1_SITES:
+            assert spec.host in out
+
+    def test_experiment_fig6_single_rep(self, capsys):
+        assert main(["experiment", "fig6", "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "M2 < M1 on 20 of 20 sites" in out
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Q8" in out and "Agree" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "completed: 20 / 20" in out
+
+    def test_scenario_maps(self, capsys):
+        assert main(["scenario", "maps"]) == 0
+        out = capsys.readouterr().out
+        assert "T1-B" in out
+        assert "FAIL" not in out
+
+    def test_scenario_shop(self, capsys):
+        assert main(["scenario", "shop"]) == 0
+        out = capsys.readouterr().out
+        assert "T10-B" in out
+        assert "FAIL" not in out

@@ -1,0 +1,116 @@
+"""Tests for the cookie-replication extension (paper §4.1.2 extension)."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import CoBrowsingSession, NewContent, build_envelope, parse_envelope
+from repro.net import LAN_PROFILE, Host, Network
+from repro.sim import Simulator
+from repro.webserver import SHOP_HOST, ShopService
+
+
+def build_world():
+    sim = Simulator()
+    network = Network(sim)
+    shop = ShopService(network)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    part_pc = Host(network, "part-pc", LAN_PROFILE, segment="campus")
+    hb = Browser(host_pc, name="bob")
+    pb = Browser(part_pc, name="alice")
+    return sim, network, shop, hb, pb
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.process(generator))
+
+
+class TestEnvelopeCookies:
+    def test_round_trip(self):
+        content = NewContent(
+            5,
+            cookies_json='[{"name": "s", "value": "1", "host": "a.com", "path": "/"}]',
+        )
+        parsed = parse_envelope(build_envelope(content))
+        assert parsed.cookies_json == content.cookies_json
+
+    def test_empty_cookies_elided(self):
+        xml = build_envelope(NewContent(5))
+        assert "docCookies" not in xml
+        assert parse_envelope(xml).cookies_json == "[]"
+
+    def test_old_envelopes_still_parse(self):
+        xml = (
+            "<newContent><docTime>1</docTime><docContent><docHead></docHead>"
+            "</docContent><userActions><![CDATA[%5B%5D]]></userActions></newContent>"
+        )
+        assert parse_envelope(xml).cookies_json == "[]"
+
+
+class TestReplicationOff:
+    def test_default_does_not_replicate(self):
+        sim, _network, _shop, hb, pb = build_world()
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://%s/" % SHOP_HOST)
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        assert hb.cookie_jar.get(SHOP_HOST, "shopsession") is not None
+        assert pb.cookie_jar.get(SHOP_HOST, "shopsession") is None
+
+
+class TestReplicationOn:
+    def test_participant_receives_host_session_cookie(self):
+        sim, _network, shop, hb, pb = build_world()
+        session = CoBrowsingSession(hb)
+        session.agent.replicate_cookies = True
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://%s/" % SHOP_HOST)
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        host_cookie = hb.cookie_jar.get(SHOP_HOST, "shopsession")
+        assert host_cookie is not None
+        assert pb.cookie_jar.get(SHOP_HOST, "shopsession") == host_cookie
+
+    def test_replicated_session_shared_at_origin(self):
+        """With replication, the participant's own origin fetches ride
+        the host's shop session — the shop sees one session even when the
+        participant contacts it directly (non-cache mode)."""
+        sim, _network, shop, hb, pb = build_world()
+        session = CoBrowsingSession(hb, cache_mode=False)
+        session.agent.replicate_cookies = True
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://%s/item/mba-13-128" % SHOP_HOST)
+            yield from session.wait_until_synced()
+            # The participant now hits the shop directly with the cookie.
+            page = yield from pb.navigate("http://%s/" % SHOP_HOST)
+            return page
+
+        run(sim, scenario())
+        assert shop.session_count() == 1
+
+    def test_malformed_cookie_payload_ignored(self):
+        from repro.core import AjaxSnippet
+        from repro.browser.page import Page
+        from repro.html import parse_document
+        from repro.net import parse_url
+
+        sim = Simulator()
+        network = Network(sim)
+        host = Host(network, "x-pc", LAN_PROFILE)
+        browser = Browser(host, name="x")
+        browser.page = Page(
+            parse_url("http://agent:3000/"),
+            parse_document("<html><head><script id='ajax-snippet'></script></head><body></body></html>"),
+        )
+        snippet = AjaxSnippet(browser, "http://agent:3000/", poll_interval=1.0)
+        for bad in ("{not json", '["no-dict"]', '[{"name": "n"}]'):
+            snippet._apply_replicated_cookies(NewContent(1, cookies_json=bad))
+        assert len(browser.cookie_jar) == 0

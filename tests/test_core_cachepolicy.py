@@ -1,0 +1,160 @@
+"""Tests for cache-mode policies (paper §4.1.2 flexibility)."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import (
+    AlwaysCachePolicy,
+    CoBrowsingSession,
+    ContentTypeCachePolicy,
+    NeverCachePolicy,
+    PerParticipantCachePolicy,
+    SizeThresholdCachePolicy,
+    coerce_cache_policy,
+)
+from repro.net import LAN_PROFILE, Host, Network
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+
+class TestPolicyDecisions:
+    def args(self, **overrides):
+        base = {
+            "participant_id": "alice",
+            "page_url": "http://site.com/",
+            "object_url": "http://site.com/a.png",
+            "content_type": "image/png",
+            "size": 5000,
+        }
+        base.update(overrides)
+        return base
+
+    def test_always_and_never(self):
+        assert AlwaysCachePolicy().use_cache_for(**self.args())
+        assert not NeverCachePolicy().use_cache_for(**self.args())
+        assert AlwaysCachePolicy().ever_uses_cache
+        assert not NeverCachePolicy().ever_uses_cache
+
+    def test_coercion_from_bool(self):
+        assert isinstance(coerce_cache_policy(True), AlwaysCachePolicy)
+        assert isinstance(coerce_cache_policy(False), NeverCachePolicy)
+        policy = SizeThresholdCachePolicy(max_bytes=100)
+        assert coerce_cache_policy(policy) is policy
+        with pytest.raises(TypeError):
+            coerce_cache_policy("yes")
+
+    def test_per_participant(self):
+        policy = PerParticipantCachePolicy(["alice"])
+        assert policy.use_cache_for(**self.args(participant_id="alice"))
+        assert not policy.use_cache_for(**self.args(participant_id="bob"))
+        assert policy.mode_key("alice") != policy.mode_key("bob")
+        policy.enable_for("bob")
+        assert policy.use_cache_for(**self.args(participant_id="bob"))
+        policy.disable_for("bob")
+        assert not policy.use_cache_for(**self.args(participant_id="bob"))
+
+    def test_per_participant_default(self):
+        policy = PerParticipantCachePolicy([], default=True)
+        assert policy.use_cache_for(**self.args(participant_id="anyone"))
+        assert policy.mode_key("anyone") == "cache"
+
+    def test_content_type(self):
+        policy = ContentTypeCachePolicy(["text/css", "application/javascript"])
+        assert policy.use_cache_for(**self.args(content_type="text/css"))
+        assert policy.use_cache_for(**self.args(content_type="TEXT/CSS; charset=x"))
+        assert not policy.use_cache_for(**self.args(content_type="image/png"))
+
+    def test_size_threshold(self):
+        policy = SizeThresholdCachePolicy(max_bytes=8000, min_bytes=100)
+        assert policy.use_cache_for(**self.args(size=5000))
+        assert not policy.use_cache_for(**self.args(size=9000))
+        assert not policy.use_cache_for(**self.args(size=50))
+
+    def test_size_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SizeThresholdCachePolicy(max_bytes=10, min_bytes=100)
+
+    def test_shared_mode_key_default(self):
+        assert AlwaysCachePolicy().mode_key("a") == AlwaysCachePolicy().mode_key("b")
+
+
+def build_world():
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("s.com")
+    site.add_page(
+        "/",
+        "<html><head><link rel='stylesheet' href='/big.css'></head>"
+        "<body><img src='/small.png'><img src='/large.png'></body></html>",
+    )
+    site.add("/small.png", "image/png", b"s" * 1000)
+    site.add("/large.png", "image/png", b"L" * 50000)
+    site.add("/big.css", "text/css", b"c" * 20000)
+    OriginServer(network, "s.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    hb = Browser(host_pc, name="bob")
+    return sim, network, hb
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.process(generator))
+
+
+def participant(network, name):
+    pc = Host(network, name + "-pc", LAN_PROFILE, segment="campus")
+    return Browser(pc, name=name)
+
+
+class TestPolicyEndToEnd:
+    def sources(self, browser):
+        objects = browser.page.objects
+        from_host = [o for o in objects if "host-pc:3000" in o.url]
+        from_origin = [o for o in objects if o.url.startswith("http://s.com")]
+        return from_host, from_origin
+
+    def sync_with_policy(self, policy, participants=1):
+        sim, network, hb = build_world()
+        session = CoBrowsingSession(hb, cache_mode=policy)
+        browsers = [participant(network, "p%d" % i) for i in range(participants)]
+
+        def scenario():
+            for index, browser in enumerate(browsers):
+                yield from session.join(browser, participant_id="p%d" % index)
+            yield from session.host_navigate("http://s.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        return session, browsers
+
+    def test_size_threshold_splits_objects(self):
+        session, (pb,) = self.sync_with_policy(SizeThresholdCachePolicy(max_bytes=8000))
+        from_host, from_origin = self.sources(pb)
+        assert [o.size for o in from_host] == [1000]  # small.png via agent
+        assert sorted(o.size for o in from_origin) == [20000, 50000]
+
+    def test_content_type_policy_serves_css_only(self):
+        session, (pb,) = self.sync_with_policy(ContentTypeCachePolicy(["text/css"]))
+        from_host, from_origin = self.sources(pb)
+        assert [o.content_type for o in from_host] == ["text/css"]
+        assert all(o.content_type == "image/png" for o in from_origin)
+
+    def test_per_participant_mixed_session(self):
+        policy = PerParticipantCachePolicy(["p0"])
+        session, browsers = self.sync_with_policy(policy, participants=2)
+        cached_host, cached_origin = self.sources(browsers[0])
+        direct_host, direct_origin = self.sources(browsers[1])
+        assert len(cached_host) == 3 and cached_origin == []
+        assert direct_host == [] and len(direct_origin) == 3
+        # Two mode groups -> two generations for one document state.
+        assert session.agent.generation_count == 2
+
+    def test_same_mode_participants_share_generation(self):
+        session, _browsers = self.sync_with_policy(AlwaysCachePolicy(), participants=3)
+        assert session.agent.generation_count == 1
+        assert session.agent.stats["content_responses"] == 3
+
+    def test_legacy_bool_setter_still_works(self):
+        session, (pb,) = self.sync_with_policy(True)
+        assert session.agent.cache_mode is True
+        session.agent.cache_mode = False
+        assert isinstance(session.agent.cache_policy, NeverCachePolicy)

@@ -1,0 +1,272 @@
+"""Unit tests for Ajax-Snippet details: update semantics, handlers,
+action queueing, presence, and hostile-input robustness."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.browser.page import Page
+from repro.core import (
+    AjaxSnippet,
+    ClickAction,
+    CoBrowsingSession,
+    HeadChild,
+    MouseMoveAction,
+    NewContent,
+    PresenceAction,
+    SubmitAction,
+    TopElement,
+)
+from repro.html import Element, parse_document
+from repro.net import LAN_PROFILE, Host, Network, parse_url
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+
+def offline_snippet(browser_type="firefox"):
+    sim = Simulator()
+    network = Network(sim)
+    host = Host(network, "p-pc", LAN_PROFILE)
+    browser = Browser(host, name="p")
+    browser.page = Page(
+        parse_url("http://agent:3000/"),
+        parse_document(
+            "<html><head><script id='ajax-snippet'></script></head>"
+            "<body><p>waiting</p></body></html>"
+        ),
+    )
+    snippet = AjaxSnippet(
+        browser, "http://agent:3000/", poll_interval=1.0,
+        browser_type=browser_type, fetch_objects=False,
+    )
+    snippet._register_handlers()
+    return browser, snippet
+
+
+def content(head=None, tops=None, **kwargs):
+    return NewContent(100, head or [], tops or [], **kwargs)
+
+
+class TestApplyUpdate:
+    def test_snippet_script_always_survives(self):
+        browser, snippet = offline_snippet()
+        snippet._apply_update(
+            content(
+                head=[HeadChild("title", [], "New")],
+                tops=[TopElement("body", [], "<p>new body</p>")],
+            )
+        )
+        script = browser.page.document.get_element_by_id("ajax-snippet")
+        assert script is not None
+        assert script.parent.tag == "head"
+        assert browser.page.document.title == "New"
+
+    def test_snippet_script_recreated_if_missing(self):
+        browser, snippet = offline_snippet()
+        # A hostile host page update could have removed the marker.
+        for node in list(browser.page.document.head.child_nodes):
+            browser.page.document.head.remove_child(node)
+        snippet._apply_update(content(tops=[TopElement("body", [], "x")]))
+        assert browser.page.document.get_element_by_id("ajax-snippet") is not None
+
+    def test_body_attributes_replaced_not_merged(self):
+        browser, snippet = offline_snippet()
+        snippet._apply_update(
+            content(tops=[TopElement("body", [("class", "first"), ("id", "b1")], "x")])
+        )
+        snippet._apply_update(content(tops=[TopElement("body", [("class", "second")], "y")]))
+        body = browser.page.document.body
+        assert body.get_attribute("class") == "second"
+        assert body.get_attribute("id") is None
+
+    def test_ie_mode_produces_same_document_as_firefox(self):
+        update = content(
+            head=[
+                HeadChild("title", [], "T"),
+                HeadChild("style", [("type", "text/css")], "p { color: red }"),
+            ],
+            tops=[TopElement("body", [("class", "c")], "<div id='d'>v</div>")],
+        )
+        firefox_browser, firefox_snippet = offline_snippet("firefox")
+        ie_browser, ie_snippet = offline_snippet("ie")
+        firefox_snippet._apply_update(update)
+        ie_snippet._apply_update(update)
+        from repro.html import serialize_document
+
+        assert serialize_document(firefox_browser.page.document) == serialize_document(
+            ie_browser.page.document
+        )
+
+    def test_version_bumped(self):
+        browser, snippet = offline_snippet()
+        before = browser.page.version
+        snippet._apply_update(content(tops=[TopElement("body", [], "x")]))
+        assert browser.page.version == before + 1
+
+    def test_invalid_browser_type_rejected(self):
+        browser, _snippet = offline_snippet()
+        with pytest.raises(ValueError):
+            AjaxSnippet(browser, "http://agent:3000/", browser_type="netscape")
+
+    def test_relative_agent_url_rejected(self):
+        browser, _snippet = offline_snippet()
+        with pytest.raises(ValueError):
+            AjaxSnippet(browser, "/relative")
+
+
+class TestHandlers:
+    def test_rcb_submit_queues_and_cancels(self):
+        browser, snippet = offline_snippet()
+        form = Element("form", {"data-rcbref": "form:0", "onsubmit": "return rcbSubmit(this)"})
+        field = Element("input", {"type": "text", "name": "q", "value": "laptop"})
+        form.append_child(field)
+        browser.page.document.body.append_child(form)
+        outcome = browser.page.scripts.invoke_attribute("return rcbSubmit(this)", form)
+        assert outcome is False
+        assert snippet._outgoing == [SubmitAction("form:0", {"q": "laptop"})]
+
+    def test_rcb_click_queues_and_cancels(self):
+        browser, snippet = offline_snippet()
+        anchor = Element("a", {"data-rcbref": "a:2", "href": "http://x.com/"})
+        browser.page.document.body.append_child(anchor)
+        outcome = browser.page.scripts.invoke_attribute("return rcbClick(this)", anchor)
+        assert outcome is False
+        assert snippet._outgoing == [ClickAction("a:2")]
+
+    def test_rcb_input_uses_enclosing_form_ref(self):
+        browser, snippet = offline_snippet()
+        form = Element("form", {"data-rcbref": "form:1"})
+        field = Element("input", {"type": "text", "name": "city", "value": "NY"})
+        form.append_child(field)
+        browser.page.document.body.append_child(form)
+        browser.page.scripts.invoke_attribute("rcbInput(this)", field)
+        (action,) = snippet._outgoing
+        assert action.form_ref == "form:1"
+        assert action.fields == {"city": "NY"}
+
+    def test_rcb_input_outside_form_is_noop(self):
+        browser, snippet = offline_snippet()
+        field = Element("input", {"type": "text", "name": "orphan"})
+        browser.page.document.body.append_child(field)
+        browser.page.scripts.invoke_attribute("rcbInput(this)", field)
+        assert snippet._outgoing == []
+
+    def test_click_without_ref_is_noop(self):
+        browser, snippet = offline_snippet()
+        anchor = Element("a", {"href": "/x"})
+        browser.page.document.body.append_child(anchor)
+        browser.page.scripts.invoke_attribute("return rcbClick(this)", anchor)
+        assert snippet._outgoing == []
+
+    def test_report_helpers_queue(self):
+        _browser, snippet = offline_snippet()
+        snippet.report_mouse_move(3, 4)
+        snippet.report_scroll(120)
+        assert len(snippet._outgoing) == 2
+
+
+class TestPresenceEndToEnd:
+    def test_participants_receive_roster_updates(self):
+        sim = Simulator()
+        network = Network(sim)
+        site = StaticSite("s.com")
+        site.add_page("/", "<html><head><title>S</title></head><body>x</body></html>")
+        OriginServer(network, "s.com", site.handle)
+        hb = Browser(Host(network, "h-pc", LAN_PROFILE, segment="lan"), name="h")
+        first_pb = Browser(Host(network, "p1-pc", LAN_PROFILE, segment="lan"), name="p1")
+        second_pb = Browser(Host(network, "p2-pc", LAN_PROFILE, segment="lan"), name="p2")
+        session = CoBrowsingSession(hb)
+        session.agent.announce_presence = True
+
+        def scenario():
+            first = yield from session.join(first_pb, participant_id="p1")
+            yield from session.host_navigate("http://s.com/")
+            yield from session.wait_until_synced()
+            second = yield from session.join(second_pb, participant_id="p2")
+            yield sim.timeout(3)
+            return first, second
+
+        first, _second = sim.run_until_complete(sim.process(scenario()))
+        presences = [
+            a for a in first.stats.actions_received if isinstance(a, PresenceAction)
+        ]
+        assert presences, "first participant never heard about the second"
+        assert presences[-1].participants == ["p1", "p2"]
+
+    def test_presence_from_participant_is_ignored(self):
+        """A hostile participant cannot spoof roster updates through the
+        action channel — the agent drops non-appliable kinds."""
+        sim = Simulator()
+        network = Network(sim)
+        site = StaticSite("s.com")
+        site.add_page("/", "<html><head></head><body>x</body></html>")
+        OriginServer(network, "s.com", site.handle)
+        hb = Browser(Host(network, "h-pc", LAN_PROFILE, segment="lan"), name="h")
+        pb = Browser(Host(network, "p-pc", LAN_PROFILE, segment="lan"), name="p")
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            snippet = yield from session.join(pb, participant_id="p")
+            yield from session.host_navigate("http://s.com/")
+            yield from session.wait_until_synced()
+            snippet.queue_action(PresenceAction(["fake", "roster"]))
+            yield from snippet.flush()
+            yield sim.timeout(1)
+
+        sim.run_until_complete(sim.process(scenario()))
+        assert session.agent.stats["action_errors"] == 1
+        assert session.agent.roster() == ["p"]
+
+    def test_stale_reference_does_not_crash_agent(self):
+        sim = Simulator()
+        network = Network(sim)
+        site = StaticSite("s.com")
+        site.add_page("/", "<html><head></head><body><a href='/x'>l</a></body></html>")
+        OriginServer(network, "s.com", site.handle)
+        hb = Browser(Host(network, "h-pc", LAN_PROFILE, segment="lan"), name="h")
+        pb = Browser(Host(network, "p-pc", LAN_PROFILE, segment="lan"), name="p")
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            snippet = yield from session.join(pb, participant_id="p")
+            yield from session.host_navigate("http://s.com/")
+            yield from session.wait_until_synced()
+            snippet.queue_action(ClickAction("a:99"))  # stale/bogus
+            yield from snippet.flush()
+            yield sim.timeout(1)
+            # Session still works.
+            hb.mutate_document(lambda doc: doc.body.append_child(doc.create_element("div")))
+            yield from session.wait_until_synced()
+
+        sim.run_until_complete(sim.process(scenario()))
+        assert session.agent.stats["action_errors"] == 1
+
+
+class TestActionOnlyEnvelopes:
+    def test_action_only_update_does_not_touch_dom(self):
+        sim = Simulator()
+        network = Network(sim)
+        site = StaticSite("s.com")
+        site.add_page("/", "<html><head><title>S</title></head><body>stable</body></html>")
+        OriginServer(network, "s.com", site.handle)
+        hb = Browser(Host(network, "h-pc", LAN_PROFILE, segment="lan"), name="h")
+        first_pb = Browser(Host(network, "p1-pc", LAN_PROFILE, segment="lan"), name="p1")
+        second_pb = Browser(Host(network, "p2-pc", LAN_PROFILE, segment="lan"), name="p2")
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            first = yield from session.join(first_pb, participant_id="p1")
+            second = yield from session.join(second_pb, participant_id="p2")
+            yield from session.host_navigate("http://s.com/")
+            yield from session.wait_until_synced()
+            version_before = second_pb.page.version
+            first.report_mouse_move(9, 9)
+            yield from first.flush()
+            yield sim.timeout(3)
+            return second, version_before
+
+        second, version_before = sim.run_until_complete(sim.process(scenario()))
+        moves = [a for a in second.stats.actions_received if isinstance(a, MouseMoveAction)]
+        assert moves
+        # The mirror arrived via an action-only envelope: no DOM churn.
+        assert second_pb.page.version == version_before
+        assert second.stats.action_only_updates >= 1

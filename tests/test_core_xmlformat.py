@@ -1,0 +1,166 @@
+"""Tests for js_escape/js_unescape and the Fig. 4 XML envelope."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EnvelopeError,
+    HeadChild,
+    NewContent,
+    TopElement,
+    build_envelope,
+    js_escape,
+    js_unescape,
+    parse_envelope,
+)
+
+
+class TestJsEscape:
+    def test_safe_characters_untouched(self):
+        safe = "abcXYZ019@*_+-./"
+        assert js_escape(safe) == safe
+
+    def test_latin1_percent_encoding(self):
+        assert js_escape(" ") == "%20"
+        assert js_escape("<&>") == "%3C%26%3E"
+        assert js_escape("é") == "%E9"
+
+    def test_unicode_percent_u_encoding(self):
+        assert js_escape("中") == "%u4E2D"
+        assert js_escape("€") == "%u20AC"
+
+    def test_unescape_inverts(self):
+        for text in ("hello world", "<p class=\"x\">&amp;</p>", "中文 mixed π"):
+            assert js_unescape(js_escape(text)) == text
+
+    def test_unescape_tolerates_bare_percent(self):
+        assert js_unescape("100% sure") == "100% sure"
+
+    def test_escape_output_is_cdata_safe(self):
+        nasty = "]]> <script> & ' \""
+        escaped = js_escape(nasty)
+        assert "]]>" not in escaped
+        assert "<" not in escaped
+        assert "&" not in escaped
+
+    @settings(max_examples=200)
+    @given(st.text(max_size=200))
+    def test_round_trip_property(self, text):
+        assert js_unescape(js_escape(text)) == text
+
+
+def sample_content():
+    return NewContent(
+        1234567,
+        head_children=[
+            HeadChild("title", [], "My Page"),
+            HeadChild("style", [("type", "text/css")], "body { color: red; }"),
+            HeadChild("meta", [("charset", "utf-8")], ""),
+        ],
+        top_elements=[
+            TopElement("body", [("class", "main"), ("onload", "")], "<p>hello</p>")
+        ],
+        user_actions_json='[{"kind": "mousemove", "x": 1, "y": 2}]',
+    )
+
+
+class TestEnvelope:
+    def test_build_has_paper_structure(self):
+        xml = build_envelope(sample_content())
+        assert xml.startswith("<?xml version='1.0' encoding='utf-8'?>")
+        for tag in ("<newContent>", "<docTime>", "<docContent>", "<docHead>",
+                    "<hChild1>", "<hChild2>", "<hChild3>", "<docBody>", "<userActions>"):
+            assert tag in xml
+        assert "<docFrameSet>" not in xml
+
+    def test_round_trip_equality(self):
+        content = sample_content()
+        assert parse_envelope(build_envelope(content)) == content
+
+    def test_frameset_round_trip(self):
+        content = NewContent(
+            9,
+            head_children=[HeadChild("title", [], "Frames")],
+            top_elements=[
+                TopElement("frameset", [("rows", "50%,50%")], '<frame src="http://a.com/f.html">'),
+                TopElement("noframes", [], "<p>no frames here</p>"),
+            ],
+        )
+        xml = build_envelope(content)
+        assert "<docFrameSet>" in xml
+        assert "<docNoFrames>" in xml
+        assert "<docBody>" not in xml
+        parsed = parse_envelope(xml)
+        assert parsed.uses_frames
+        assert parsed == content
+
+    def test_empty_content_round_trip(self):
+        content = NewContent(5)
+        parsed = parse_envelope(build_envelope(content))
+        assert parsed.doc_time == 5
+        assert parsed.head_children == []
+        assert parsed.top_elements == []
+
+    def test_tricky_payloads_survive(self):
+        content = NewContent(
+            7,
+            head_children=[HeadChild("script", [("id", "x")], "if (a<b && c>d) { s='%u]]>'; }")],
+            top_elements=[
+                TopElement("body", [("data-x", 'quo"te & <tag>')], "<div>]]></div>中文")
+            ],
+        )
+        assert parse_envelope(build_envelope(content)) == content
+
+    def test_user_actions_payload_round_trip(self):
+        content = sample_content()
+        parsed = parse_envelope(build_envelope(content))
+        assert parsed.user_actions_json == content.user_actions_json
+
+    def test_parse_rejects_non_envelope(self):
+        with pytest.raises(EnvelopeError):
+            parse_envelope("<html><body>nope</body></html>")
+
+    def test_parse_rejects_missing_doc_time(self):
+        with pytest.raises(EnvelopeError):
+            parse_envelope("<newContent><docContent></docContent></newContent>")
+
+    def test_parse_rejects_bad_payload(self):
+        xml = (
+            "<newContent><docTime>1</docTime><docContent><docHead>"
+            "<hChild1><![CDATA[notjson]]></hChild1>"
+            "</docHead></docContent></newContent>"
+        )
+        with pytest.raises(EnvelopeError):
+            parse_envelope(xml)
+
+    def test_unsupported_top_element_rejected(self):
+        with pytest.raises(EnvelopeError):
+            TopElement("div", [], "")
+
+
+attr_pairs = st.lists(
+    st.tuples(
+        st.sampled_from(["id", "class", "style", "onload", "data-x"]),
+        st.text(max_size=20),
+    ),
+    max_size=4,
+)
+
+
+@settings(max_examples=100)
+@given(
+    st.integers(min_value=0, max_value=2**53),
+    st.lists(
+        st.tuples(st.sampled_from(["title", "style", "script", "meta", "link"]), attr_pairs, st.text(max_size=50)),
+        max_size=5,
+    ),
+    attr_pairs,
+    st.text(max_size=80),
+)
+def test_envelope_round_trip_property(doc_time, head_specs, body_attrs, body_inner):
+    content = NewContent(
+        doc_time,
+        head_children=[HeadChild(tag, attrs, inner) for tag, attrs, inner in head_specs],
+        top_elements=[TopElement("body", body_attrs, body_inner)],
+    )
+    assert parse_envelope(build_envelope(content)) == content

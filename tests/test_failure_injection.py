@@ -1,0 +1,233 @@
+"""Failure-injection tests: what happens when pieces of the world break.
+
+A practical co-browsing tool must degrade gracefully: origin outages,
+the host stopping the agent, participants vanishing, hostile traffic on
+the agent port, cache evictions between generation and object fetch.
+"""
+
+import pytest
+
+from repro.browser import Browser, NavigationError
+from repro.core import AjaxSnippet, CoBrowsingSession
+from repro.http import HttpClient, RequestFailed
+from repro.net import LAN_PROFILE, Host, Network
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+
+def build_world():
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page(
+        "/",
+        "<html><head><title>One</title></head>"
+        '<body><img src="/a.png"><p>hello</p></body></html>',
+    )
+    site.add_page("/two", "<html><head><title>Two</title></head><body>2</body></html>")
+    site.add("/a.png", "image/png", b"\x89PNG" + b"a" * 3000)
+    origin = OriginServer(network, "site.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    part_pc = Host(network, "part-pc", LAN_PROFILE, segment="campus")
+    hb = Browser(host_pc, name="bob")
+    pb = Browser(part_pc, name="alice")
+    return sim, network, origin, hb, pb
+
+
+def run(sim, generator, limit=1e9):
+    return sim.run_until_complete(sim.process(generator), limit=limit)
+
+
+class TestOriginOutage:
+    def test_participant_keeps_last_page_when_origin_dies(self):
+        sim, _network, origin, hb, pb = build_world()
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            origin.stop()
+            with pytest.raises(NavigationError):
+                yield from session.host_navigate("http://site.com/two")
+            # Nothing new was pushed; the participant still has page one.
+            yield sim.timeout(3)
+            return "done"
+
+        assert run(sim, scenario()) == "done"
+        assert pb.page.document.title == "One"
+        assert hb.page.document.title == "One"  # failed navigation kept state
+
+    def test_session_continues_on_other_sites_after_outage(self):
+        sim, network, origin, hb, pb = build_world()
+        other = StaticSite("other.com")
+        other.add_page("/", "<html><head><title>Other</title></head><body>o</body></html>")
+        OriginServer(network, "other.com", other.handle)
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            origin.stop()
+            with pytest.raises(NavigationError):
+                yield from session.host_navigate("http://site.com/two")
+            yield from session.host_navigate("http://other.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        assert pb.page.document.title == "Other"
+
+    def test_cache_mode_survives_origin_outage(self):
+        """With cache mode, a revisit after the origin dies still renders
+        for the participant — the paper's accessibility benefit."""
+        sim, _network, origin, hb, pb = build_world()
+        session = CoBrowsingSession(hb, cache_mode=True)
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            origin.stop()
+            # The host mutates the current page (no origin contact).
+            hb.mutate_document(
+                lambda doc: setattr(
+                    doc.get_elements_by_tag_name("p")[0], "inner_html", "offline update"
+                )
+            )
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        assert "offline update" in pb.page.document.body.text_content
+        # The image still came from the host's cache, not the dead origin.
+        assert all("host-pc:3000" in o.url for o in pb.page.objects)
+
+
+class TestAgentShutdown:
+    def test_snippet_gives_up_after_repeated_failures(self):
+        sim, _network, _origin, hb, pb = build_world()
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            snippet = yield from session.join(pb)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            session.agent.uninstall()
+            pb.client.close()  # the pooled connection dies with the agent
+            yield sim.timeout(30)
+            return snippet
+
+        snippet = run(sim, scenario())
+        assert not snippet.connected
+        assert snippet.stats.connection_errors > 0
+        assert snippet.stats.connection_errors <= snippet.max_poll_failures + 1
+        # The last synced page is still displayed.
+        assert pb.page.document.title == "One"
+
+    def test_agent_survives_participant_disappearing(self):
+        sim, _network, _origin, hb, pb = build_world()
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            snippet = yield from session.join(pb)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            # The participant vanishes without saying goodbye.
+            snippet.disconnect()
+            pb.client.close()
+            yield from session.host_navigate("http://site.com/two")
+            yield sim.timeout(3)
+
+        run(sim, scenario())
+        assert hb.page.document.title == "Two"
+        assert session.agent.stats["auth_failures"] == 0
+
+
+class TestHostileTraffic:
+    def test_garbage_on_agent_port(self):
+        sim, network, _origin, hb, pb = build_world()
+        session = CoBrowsingSession(hb)
+        attacker_pc = Host(network, "attacker-pc", LAN_PROFILE, segment="campus")
+
+        def scenario():
+            snippet = yield from session.join(pb)
+            conn = yield attacker_pc.connect("host-pc", 3000)
+            yield conn.send(b"\x00\xffGARBAGE\r\n\r\n")
+            reply = yield conn.recv()
+            assert reply.startswith(b"HTTP/1.1 400")
+            # The legitimate session is unaffected.
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            return snippet
+
+        run(sim, scenario())
+        assert pb.page.document.title == "One"
+
+    def test_unknown_methods_rejected(self):
+        sim, _network, _origin, hb, pb = build_world()
+        CoBrowsingSession(hb)
+        client = HttpClient(pb.host)
+
+        def scenario():
+            response = yield from client.request("DELETE", "http://host-pc:3000/")
+            return response
+
+        assert run(sim, scenario()).status == 404
+
+    def test_oversized_poll_header_handled(self):
+        sim, network, _origin, hb, _pb = build_world()
+        CoBrowsingSession(hb)
+        attacker_pc = Host(network, "attacker2-pc", LAN_PROFILE, segment="campus")
+
+        def scenario():
+            conn = yield attacker_pc.connect("host-pc", 3000)
+            yield conn.send(b"GET / HTTP/1.1\r\nX-Junk: " + b"j" * 70000)
+            reply = yield conn.recv()
+            return reply
+
+        assert run(sim, scenario()).startswith(b"HTTP/1.1 400")
+
+
+class TestCacheChurn:
+    def test_evicted_object_returns_404_but_session_survives(self):
+        sim, _network, _origin, hb, pb = build_world()
+        session = CoBrowsingSession(hb, cache_mode=True)
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            # The host's cache is purged between generation and a refetch.
+            hb.clear_cache()
+            pb.clear_cache()
+            elapsed = yield from pb.fetch_current_objects()
+            return elapsed
+
+        run(sim, scenario())
+        # The object request 404s; the page keeps rendering without it.
+        assert pb.page.objects == []
+        assert pb.page.document.title == "One"
+
+    def test_rapid_mutations_converge_to_latest(self):
+        """The timestamp protocol never leaves a participant on a stale
+        intermediate state once the host settles."""
+        sim, _network, _origin, hb, pb = build_world()
+        session = CoBrowsingSession(hb, poll_interval=0.3)
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            for value in range(12):
+                hb.mutate_document(
+                    lambda doc, value=value: setattr(
+                        doc.get_elements_by_tag_name("p")[0],
+                        "inner_html",
+                        "state-%d" % value,
+                    )
+                )
+                yield sim.timeout(0.11)
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        assert pb.page.document.body.text_content.endswith("state-11")

@@ -1,0 +1,210 @@
+"""Unit tests for the DOM tree types."""
+
+import pytest
+
+from repro.html import Comment, Document, DomError, Element, Text, parse_document
+
+
+class TestTreeManipulation:
+    def test_append_child_sets_parent(self):
+        parent = Element("div")
+        child = Element("span")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.child_nodes == [child]
+
+    def test_append_moves_node_between_parents(self):
+        first = Element("div")
+        second = Element("div")
+        child = Element("span")
+        first.append_child(child)
+        second.append_child(child)
+        assert first.child_nodes == []
+        assert child.parent is second
+
+    def test_insert_before(self):
+        parent = Element("ul")
+        a, b, c = Element("li"), Element("li"), Element("li")
+        parent.append_child(a)
+        parent.append_child(c)
+        parent.insert_before(b, c)
+        assert parent.child_nodes == [a, b, c]
+
+    def test_insert_before_missing_reference(self):
+        parent = Element("div")
+        with pytest.raises(DomError):
+            parent.insert_before(Element("a"), Element("b"))
+
+    def test_remove_child(self):
+        parent = Element("div")
+        child = Text("x")
+        parent.append_child(child)
+        parent.remove_child(child)
+        assert parent.child_nodes == []
+        assert child.parent is None
+
+    def test_remove_non_child_rejected(self):
+        with pytest.raises(DomError):
+            Element("div").remove_child(Text("x"))
+
+    def test_replace_child(self):
+        parent = Element("div")
+        old = Element("a")
+        parent.append_child(old)
+        new = Element("b")
+        parent.replace_child(new, old)
+        assert parent.child_nodes == [new]
+        assert old.parent is None
+
+    def test_cycle_rejected(self):
+        outer = Element("div")
+        inner = Element("div")
+        outer.append_child(inner)
+        with pytest.raises(DomError):
+            inner.append_child(outer)
+        with pytest.raises(DomError):
+            outer.append_child(outer)
+
+    def test_document_cannot_be_child(self):
+        with pytest.raises(DomError):
+            Element("div").append_child(Document())
+
+    def test_remove_all_children(self):
+        parent = Element("div")
+        for _ in range(3):
+            parent.append_child(Element("span"))
+        parent.remove_all_children()
+        assert parent.child_nodes == []
+
+
+class TestAttributes:
+    def test_set_get(self):
+        el = Element("a", {"href": "/x"})
+        assert el.get_attribute("href") == "/x"
+        assert el.get_attribute("HREF") == "/x"
+
+    def test_names_lowercased(self):
+        el = Element("div")
+        el.set_attribute("OnClick", "go()")
+        assert el.attributes == [("onclick", "go()")]
+
+    def test_remove_attribute(self):
+        el = Element("div", {"id": "x"})
+        el.remove_attribute("ID")
+        assert not el.has_attribute("id")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DomError):
+            Element("div").set_attribute("", "v")
+
+    def test_none_value_becomes_empty(self):
+        el = Element("input")
+        el.set_attribute("disabled", None)
+        assert el.get_attribute("disabled") == ""
+
+
+class TestTraversal:
+    def build(self):
+        doc = parse_document(
+            "<html><head><title>T</title></head>"
+            "<body><div id='main'><p>one</p><p>two</p></div></body></html>"
+        )
+        return doc
+
+    def test_descendant_elements_preorder(self):
+        doc = self.build()
+        tags = [el.tag for el in doc.descendant_elements()]
+        assert tags == ["html", "head", "title", "body", "div", "p", "p"]
+
+    def test_get_elements_by_tag_name(self):
+        doc = self.build()
+        assert len(doc.get_elements_by_tag_name("p")) == 2
+        assert doc.get_elements_by_tag_name("P")[0].text_content == "one"
+
+    def test_get_element_by_id(self):
+        doc = self.build()
+        assert doc.get_element_by_id("main").tag == "div"
+        assert doc.get_element_by_id("nope") is None
+
+    def test_text_content_concatenates(self):
+        doc = self.build()
+        assert doc.body.text_content == "onetwo"
+
+    def test_children_excludes_text(self):
+        el = Element("div")
+        el.append_child(Text("x"))
+        el.append_child(Element("span"))
+        assert [c.tag for c in el.children] == ["span"]
+
+
+class TestDocumentAccessors:
+    def test_head_body_title(self):
+        doc = parse_document("<html><head><title>Hello</title></head><body>B</body></html>")
+        assert doc.head.tag == "head"
+        assert doc.body.tag == "body"
+        assert doc.title == "Hello"
+
+    def test_frameset_document(self):
+        doc = parse_document(
+            "<html><head></head><frameset rows='50%,50%'>"
+            "<frame src='a.html'><frame src='b.html'></frameset></html>"
+        )
+        assert doc.body is None
+        assert doc.frameset is not None
+        assert len(doc.frameset.get_elements_by_tag_name("frame")) == 2
+
+    def test_create_element_strips_trailing_underscore(self):
+        doc = Document()
+        el = doc.create_element("label", for_="x", id="y")
+        assert el.get_attribute("for") == "x"
+        assert el.get_attribute("id") == "y"
+
+
+class TestClone:
+    def test_deep_clone_independent(self):
+        doc = parse_document("<html><body><div id='a'><p>text</p></div></body></html>")
+        copy = doc.clone()
+        copy.get_element_by_id("a").set_attribute("id", "changed")
+        copy.body.get_elements_by_tag_name("p")[0].child_nodes[0].data = "altered"
+        assert doc.get_element_by_id("a") is not None
+        assert doc.body.text_content == "text"
+
+    def test_shallow_clone_has_no_children(self):
+        el = Element("div", {"id": "x"})
+        el.append_child(Element("span"))
+        copy = el.clone(deep=False)
+        assert copy.get_attribute("id") == "x"
+        assert copy.child_nodes == []
+
+    def test_clone_preserves_doctype(self):
+        doc = parse_document("<!DOCTYPE html><html><body></body></html>")
+        assert doc.clone().doctype == doc.doctype
+
+
+class TestInnerHtml:
+    def test_get_inner_html(self):
+        el = Element("div")
+        el.append_child(Element("b"))
+        el.child_nodes[0].append_child(Text("bold"))
+        assert el.inner_html == "<b>bold</b>"
+
+    def test_set_inner_html_replaces_children(self):
+        el = Element("div")
+        el.append_child(Text("old"))
+        el.inner_html = "<p>new</p><p>er</p>"
+        assert [c.tag for c in el.children] == ["p", "p"]
+        assert el.text_content == "newer"
+
+    def test_set_inner_html_round_trip(self):
+        el = Element("div")
+        el.inner_html = '<a href="/x?a=1&amp;b=2">link &amp; more</a>'
+        assert el.inner_html == '<a href="/x?a=1&amp;b=2">link &amp; more</a>'
+
+    def test_outer_html(self):
+        el = Element("img", {"src": "/x.png", "alt": ""})
+        assert el.outer_html == '<img src="/x.png" alt>'
+
+    def test_text_escaped_in_inner_html(self):
+        el = Element("div")
+        el.append_child(Text("a < b & c"))
+        assert el.inner_html == "a &lt; b &amp; c"

@@ -1,0 +1,128 @@
+"""Tests for the CSS selector engine."""
+
+import pytest
+
+from repro.html import parse_document
+from repro.html.select import SelectorError, matches, select, select_one
+
+DOC = parse_document(
+    """
+<html><head><title>T</title></head>
+<body>
+  <div id="main" class="wide dark">
+    <form id="f1" class="search">
+      <input type="text" name="q" value="">
+      <input type="submit" name="go">
+    </form>
+    <ul class="results">
+      <li class="result first"><a href="/item/1" data-kind="laptop">one</a></li>
+      <li class="result"><a href="/item/2" data-kind="camera">two</a></li>
+      <li class="result"><a href="http://x.com/3" data-kind="laptop">three</a></li>
+    </ul>
+  </div>
+  <div class="sidebar"><a href="/promo">promo</a></div>
+</body></html>
+"""
+)
+
+
+class TestSimpleSelectors:
+    def test_by_tag(self):
+        assert len(select(DOC, "li")) == 3
+        assert len(select(DOC, "form")) == 1
+
+    def test_by_id(self):
+        assert select_one(DOC, "#main").get_attribute("class") == "wide dark"
+        assert select_one(DOC, "#absent") is None
+
+    def test_by_class(self):
+        assert len(select(DOC, ".result")) == 3
+        assert len(select(DOC, ".first")) == 1
+
+    def test_multiple_classes(self):
+        assert select_one(DOC, ".result.first").text_content == "one"
+        assert select(DOC, ".result.absent") == []
+
+    def test_compound_tag_id_class(self):
+        assert select_one(DOC, "form.search#f1") is not None
+        assert select_one(DOC, "div.search#f1") is None
+
+    def test_universal(self):
+        assert len(select(DOC, "*")) == len(list(DOC.descendant_elements()))
+
+    def test_tag_case_insensitive(self):
+        assert len(select(DOC, "LI")) == 3
+
+
+class TestAttributeSelectors:
+    def test_presence(self):
+        assert len(select(DOC, "[data-kind]")) == 3
+        assert len(select(DOC, "input[name]")) == 2
+
+    def test_equality(self):
+        assert select_one(DOC, "input[name=q]").get_attribute("type") == "text"
+        assert len(select(DOC, "[data-kind=laptop]")) == 2
+
+    def test_quoted_value(self):
+        assert select_one(DOC, '[data-kind="camera"]').text_content == "two"
+
+    def test_prefix_suffix_contains(self):
+        assert len(select(DOC, "a[href^=http]")) == 1
+        assert len(select(DOC, "a[href$=promo]")) == 1
+        assert len(select(DOC, "a[href*=item]")) == 2
+
+
+class TestCombinators:
+    def test_descendant(self):
+        assert len(select(DOC, "#main a")) == 3
+        assert len(select(DOC, ".sidebar a")) == 1
+
+    def test_child(self):
+        assert len(select(DOC, "ul > li")) == 3
+        assert select(DOC, "ul > a") == []  # anchors are grandchildren
+
+    def test_deep_chain(self):
+        assert select_one(DOC, "#main ul.results > li.first a").text_content == "one"
+
+    def test_comma_list(self):
+        found = select(DOC, "form, .sidebar a")
+        assert {el.tag for el in found} == {"form", "a"}
+
+
+class TestMatches:
+    def test_matches_true_false(self):
+        anchor = select_one(DOC, "a[href='/item/1']")
+        assert matches(anchor, "a")
+        assert matches(anchor, ".result a, form")
+        assert not matches(anchor, "form")
+
+    def test_matches_non_element(self):
+        from repro.html import Text
+
+        assert not matches(Text("x"), "a")
+
+
+class TestErrors:
+    def test_empty_selector(self):
+        with pytest.raises(SelectorError):
+            select(DOC, "   ")
+
+    def test_empty_id(self):
+        with pytest.raises(SelectorError):
+            select(DOC, "#")
+
+    def test_empty_class(self):
+        with pytest.raises(SelectorError):
+            select(DOC, "div.")
+
+    def test_unterminated_attribute(self):
+        with pytest.raises(SelectorError):
+            select(DOC, "a[href")
+
+    def test_dangling_combinator(self):
+        with pytest.raises(SelectorError):
+            select(DOC, "ul >")
+        with pytest.raises(SelectorError):
+            select(DOC, "> li")
+        with pytest.raises(SelectorError):
+            select(DOC, "ul > > li")

@@ -1,0 +1,251 @@
+"""Integration tests: HttpClient against HttpServer over simulated TCP."""
+
+import pytest
+
+from repro.http import (
+    CookieJar,
+    Headers,
+    HttpClient,
+    HttpResponse,
+    HttpServer,
+    RequestFailed,
+    html_response,
+)
+from repro.net import LAN_PROFILE, SERVER_PROFILE, Host, Network
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator()
+    network = Network(sim)
+    server_host = Host(network, "www.example.com", SERVER_PROFILE, segment="internet")
+    client_host = Host(network, "client-pc", LAN_PROFILE, segment="campus")
+    return sim, network, server_host, client_host
+
+
+def echo_handler(request, client_name):
+    body = ("%s %s from %s" % (request.method, request.target, client_name)).encode()
+    return HttpResponse(200, Headers([("Content-Type", "text/plain")]), body)
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.process(generator))
+
+
+class TestBasicExchange:
+    def test_get_round_trip(self):
+        sim, _network, server_host, client_host = build()
+        HttpServer(server_host, 80, echo_handler).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            response = yield from client.get("http://www.example.com/index.html")
+            return response
+
+        response = run(sim, scenario())
+        assert response.status == 200
+        assert response.body == b"GET /index.html from client-pc"
+        assert response.headers.get("Server") == "repro-httpd"
+
+    def test_post_carries_body(self):
+        sim, _network, server_host, client_host = build()
+        received = {}
+
+        def handler(request, client_name):
+            received["body"] = request.body
+            received["ctype"] = request.headers.get("Content-Type")
+            return HttpResponse(200)
+
+        HttpServer(server_host, 80, handler).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            return (yield from client.post("http://www.example.com/form", b"a=1&b=2"))
+
+        response = run(sim, scenario())
+        assert response.status == 200
+        assert received["body"] == b"a=1&b=2"
+        assert received["ctype"] == "application/x-www-form-urlencoded"
+
+    def test_host_header_set(self):
+        sim, _network, server_host, client_host = build()
+        seen = {}
+
+        def handler(request, client_name):
+            seen["host"] = request.headers.get("Host")
+            return HttpResponse(200)
+
+        HttpServer(server_host, 8080, handler).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            return (yield from client.get("http://www.example.com:8080/"))
+
+        run(sim, scenario())
+        assert seen["host"] == "www.example.com:8080"
+
+    def test_generator_handler_with_delay(self):
+        sim, _network, server_host, client_host = build()
+
+        def handler(request, client_name):
+            yield server_host.sim.timeout(0.5)
+            return html_response("<p>slow</p>")
+
+        HttpServer(server_host, 80, handler).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            response = yield from client.get("http://www.example.com/")
+            return (response, sim.now)
+
+        response, elapsed = run(sim, scenario())
+        assert response.status == 200
+        assert elapsed > 0.5
+
+    def test_processing_delay_applied(self):
+        sim, _network, server_host, client_host = build()
+        HttpServer(server_host, 80, echo_handler, processing_delay=1.0).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            yield from client.get("http://www.example.com/")
+            return sim.now
+
+        assert run(sim, scenario()) > 1.0
+
+
+class TestKeepAliveAndPooling:
+    def test_connection_reused_across_requests(self):
+        sim, _network, server_host, client_host = build()
+        server = HttpServer(server_host, 80, echo_handler).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            yield from client.get("http://www.example.com/a")
+            yield from client.get("http://www.example.com/b")
+
+        run(sim, scenario())
+        assert server.connections_accepted == 1
+        assert server.requests_served == 2
+
+    def test_connection_close_honoured(self):
+        sim, _network, server_host, client_host = build()
+        server = HttpServer(server_host, 80, echo_handler).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            headers = Headers([("Connection", "close")])
+            yield from client.request("GET", "http://www.example.com/a", headers)
+            yield from client.request("GET", "http://www.example.com/b", headers)
+
+        run(sim, scenario())
+        assert server.connections_accepted == 2
+
+    def test_second_request_faster_with_pool(self):
+        sim, _network, server_host, client_host = build()
+        HttpServer(server_host, 80, echo_handler).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            start = sim.now
+            yield from client.get("http://www.example.com/a")
+            first = sim.now - start
+            start = sim.now
+            yield from client.get("http://www.example.com/b")
+            second = sim.now - start
+            return first, second
+
+        first, second = run(sim, scenario())
+        assert second < first  # no handshake on the pooled connection
+
+
+class TestFailures:
+    def test_unknown_host_raises(self):
+        sim, _network, _server_host, client_host = build()
+        client = HttpClient(client_host)
+
+        def scenario():
+            with pytest.raises(RequestFailed):
+                yield from client.get("http://no-such-host.com/")
+            return "done"
+
+        assert run(sim, scenario()) == "done"
+
+    def test_closed_port_raises(self):
+        sim, _network, _server_host, client_host = build()
+        client = HttpClient(client_host)
+
+        def scenario():
+            with pytest.raises(RequestFailed):
+                yield from client.get("http://www.example.com:81/")
+            return "done"
+
+        assert run(sim, scenario()) == "done"
+
+    def test_relative_url_rejected(self):
+        sim, _network, _server_host, client_host = build()
+        client = HttpClient(client_host)
+        with pytest.raises(Exception):
+            list(client.get("/relative"))
+
+    def test_malformed_request_gets_400(self):
+        sim, _network, server_host, client_host = build()
+        HttpServer(server_host, 80, echo_handler).start()
+
+        def scenario():
+            conn = yield client_host.connect("www.example.com", 80)
+            yield conn.send(b"THIS IS NOT HTTP\r\n\r\n")
+            data = yield conn.recv()
+            return data
+
+        data = run(sim, scenario())
+        assert data.startswith(b"HTTP/1.1 400")
+
+    def test_server_stop_refuses_new_connections(self):
+        sim, _network, server_host, client_host = build()
+        server = HttpServer(server_host, 80, echo_handler).start()
+        client = HttpClient(client_host)
+
+        def scenario():
+            yield from client.get("http://www.example.com/")
+            server.stop()
+            client.close()
+            with pytest.raises(RequestFailed):
+                yield from client.get("http://www.example.com/")
+            return "done"
+
+        assert run(sim, scenario()) == "done"
+
+
+class TestCookies:
+    def test_set_cookie_stored_and_replayed(self):
+        sim, _network, server_host, client_host = build()
+        seen = []
+
+        def handler(request, client_name):
+            seen.append(request.headers.get("Cookie"))
+            headers = Headers([("Set-Cookie", "session=abc123; Path=/")])
+            return HttpResponse(200, headers)
+
+        HttpServer(server_host, 80, handler).start()
+        jar = CookieJar()
+        client = HttpClient(client_host, cookie_jar=jar)
+
+        def scenario():
+            yield from client.get("http://www.example.com/login")
+            yield from client.get("http://www.example.com/account")
+
+        run(sim, scenario())
+        assert seen == [None, "session=abc123"]
+        assert jar.get("www.example.com", "session") == "abc123"
+
+    def test_cookies_not_sent_cross_host(self):
+        jar = CookieJar()
+        jar.set("a.com", "secret", "1")
+        assert jar.cookie_header("b.com", "/") is None
+
+    def test_path_scoping(self):
+        jar = CookieJar()
+        jar.set("a.com", "scoped", "1", path="/shop")
+        assert jar.cookie_header("a.com", "/shop/cart") == "scoped=1"
+        assert jar.cookie_header("a.com", "/other") is None

@@ -1,0 +1,338 @@
+"""Unit tests for the link model, sockets, and NAT."""
+
+import pytest
+
+from repro.net import (
+    LAN_PROFILE,
+    SERVER_PROFILE,
+    WAN_HOME_PROFILE,
+    ConnectionRefused,
+    Host,
+    HostUnreachable,
+    NatGateway,
+    Network,
+    NetworkError,
+)
+from repro.sim import Simulator, StoreClosed
+
+
+def make_lan_pair():
+    sim = Simulator()
+    network = Network(sim)
+    a = Host(network, "a", LAN_PROFILE, segment="campus")
+    b = Host(network, "b", LAN_PROFILE, segment="campus")
+    return sim, network, a, b
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.process(generator))
+
+
+class TestLinkModel:
+    def test_serialization_delay_scales_with_size(self):
+        sim, network, a, b = make_lan_pair()
+        small = network.transfer_delay(a, b, 1000)
+        sim2, network2, a2, b2 = make_lan_pair()
+        large = network2.transfer_delay(a2, b2, 100000)
+        assert large > small
+
+    def test_same_segment_skips_core_latency(self):
+        sim = Simulator()
+        network = Network(sim)
+        a = Host(network, "a", LAN_PROFILE, segment="campus")
+        b = Host(network, "b", LAN_PROFILE, segment="campus")
+        c = Host(network, "c", SERVER_PROFILE, segment="internet")
+        assert network.propagation_latency(a, b) < network.propagation_latency(a, c)
+
+    def test_uplink_queueing_serializes_transfers(self):
+        sim = Simulator()
+        network = Network(sim)
+        a = Host(network, "a", WAN_HOME_PROFILE, segment="home-a")
+        b = Host(network, "b", WAN_HOME_PROFILE, segment="home-b")
+        first = network.transfer_delay(a, b, 48000)  # ~1 s at 384 Kbps
+        second = network.transfer_delay(a, b, 48000)
+        assert second > first  # second transfer waits behind the first
+
+    def test_asymmetric_wan_profile(self):
+        assert WAN_HOME_PROFILE.up_bps < WAN_HOME_PROFILE.down_bps
+
+    def test_self_transfer_is_free(self):
+        sim, network, a, _b = make_lan_pair()
+        assert network.transfer_delay(a, a, 10000) == 0.0
+
+    def test_negative_size_rejected(self):
+        sim, network, a, b = make_lan_pair()
+        with pytest.raises(ValueError):
+            network.transfer_delay(a, b, -1)
+
+
+class TestNetworkRegistry:
+    def test_duplicate_host_rejected(self):
+        sim = Simulator()
+        network = Network(sim)
+        Host(network, "dup", LAN_PROFILE)
+        with pytest.raises(NetworkError):
+            Host(network, "dup", LAN_PROFILE)
+
+    def test_lookup_case_insensitive(self):
+        sim = Simulator()
+        network = Network(sim)
+        host = Host(network, "MyHost", LAN_PROFILE)
+        assert network.lookup("myhost") is host
+        assert network.lookup("MYHOST") is host
+
+
+class TestConnect:
+    def test_connect_and_exchange(self):
+        sim, _network, a, b = make_lan_pair()
+        listener = b.listen(3000)
+        log = {}
+
+        def server():
+            conn = yield listener.accept()
+            data = yield conn.recv()
+            log["server_got"] = data
+            yield conn.send(b"pong")
+
+        def client():
+            conn = yield a.connect("b", 3000)
+            yield conn.send(b"ping")
+            reply = yield conn.recv()
+            log["client_got"] = reply
+
+        sim.process(server())
+        client_proc = sim.process(client())
+        sim.run_until_complete(client_proc)
+        assert log == {"server_got": b"ping", "client_got": b"pong"}
+
+    def test_connect_costs_a_round_trip(self):
+        sim, network, a, b = make_lan_pair()
+        b.listen(3000)
+
+        def client():
+            yield a.connect("b", 3000)
+            return sim.now
+
+        elapsed = run(sim, client())
+        assert elapsed == pytest.approx(2 * network.propagation_latency(a, b))
+
+    def test_connect_unknown_host_fails(self):
+        sim, _network, a, _b = make_lan_pair()
+
+        def client():
+            try:
+                yield a.connect("nowhere", 80)
+            except HostUnreachable:
+                return "unreachable"
+
+        assert run(sim, client()) == "unreachable"
+
+    def test_connect_closed_port_refused(self):
+        sim, _network, a, b = make_lan_pair()
+
+        def client():
+            try:
+                yield a.connect("b", 9999)
+            except ConnectionRefused:
+                return "refused"
+
+        assert run(sim, client()) == "refused"
+
+    def test_listener_close_refuses_new_connections(self):
+        sim, _network, a, b = make_lan_pair()
+        listener = b.listen(3000)
+        listener.close()
+
+        def client():
+            try:
+                yield a.connect("b", 3000)
+            except ConnectionRefused:
+                return "refused"
+
+        assert run(sim, client()) == "refused"
+
+    def test_port_reuse_after_close(self):
+        sim, _network, _a, b = make_lan_pair()
+        listener = b.listen(3000)
+        listener.close()
+        b.listen(3000)  # should not raise
+
+    def test_duplicate_listen_rejected(self):
+        sim, _network, _a, b = make_lan_pair()
+        b.listen(3000)
+        with pytest.raises(NetworkError):
+            b.listen(3000)
+
+    def test_bad_port_rejected(self):
+        sim, _network, _a, b = make_lan_pair()
+        with pytest.raises(NetworkError):
+            b.listen(0)
+
+
+class TestConnectionStream:
+    def test_chunks_preserve_order(self):
+        sim, _network, a, b = make_lan_pair()
+        listener = b.listen(1234)
+        received = []
+
+        def server():
+            conn = yield listener.accept()
+            for _ in range(3):
+                chunk = yield conn.recv()
+                received.append(chunk)
+
+        def client():
+            conn = yield a.connect("b", 1234)
+            for chunk in (b"one", b"two", b"three"):
+                conn.send(chunk)
+            yield sim.timeout(1)
+
+        sim.process(server())
+        sim.process(client())
+        sim.run()
+        assert received == [b"one", b"two", b"three"]
+
+    def test_close_signals_end_of_stream(self):
+        sim, _network, a, b = make_lan_pair()
+        listener = b.listen(1234)
+
+        def server():
+            conn = yield listener.accept()
+            chunk = yield conn.recv()
+            try:
+                yield conn.recv()
+            except StoreClosed:
+                return chunk
+
+        def client():
+            conn = yield a.connect("b", 1234)
+            yield conn.send(b"bye")
+            conn.close()
+
+        server_proc = sim.process(server())
+        sim.process(client())
+        assert sim.run_until_complete(server_proc) == b"bye"
+
+    def test_send_after_close_fails(self):
+        sim, _network, a, b = make_lan_pair()
+        b.listen(1234)
+
+        def client():
+            conn = yield a.connect("b", 1234)
+            conn.close()
+            try:
+                yield conn.send(b"x")
+            except NetworkError:
+                return "failed"
+
+        assert run(sim, client()) == "failed"
+
+    def test_send_requires_bytes(self):
+        sim, _network, a, b = make_lan_pair()
+        b.listen(1234)
+
+        def client():
+            conn = yield a.connect("b", 1234)
+            with pytest.raises(TypeError):
+                conn.send("not bytes")
+            return "done"
+
+        assert run(sim, client()) == "done"
+
+    def test_byte_counters(self):
+        sim, _network, a, b = make_lan_pair()
+        listener = b.listen(1234)
+
+        def server():
+            conn = yield listener.accept()
+            yield conn.recv()
+            return conn
+
+        def client():
+            conn = yield a.connect("b", 1234)
+            yield conn.send(b"12345")
+            return conn
+
+        server_proc = sim.process(server())
+        client_conn = run(sim, client())
+        server_conn = sim.run_until_complete(server_proc)
+        assert client_conn.bytes_sent == 5
+        assert server_conn.bytes_received == 5
+
+
+class TestNat:
+    def build(self):
+        sim = Simulator()
+        network = Network(sim)
+        gateway = NatGateway(network, "gw", WAN_HOME_PROFILE, segment="home")
+        inside = Host(network, "inside", LAN_PROFILE, segment="home", public=False)
+        outside = Host(network, "outside", WAN_HOME_PROFILE, segment="elsewhere")
+        return sim, network, gateway, inside, outside
+
+    def test_private_host_unreachable_from_outside(self):
+        sim, _network, _gateway, inside, outside = self.build()
+        inside.listen(3000)
+
+        def client():
+            try:
+                yield outside.connect("inside", 3000)
+            except HostUnreachable:
+                return "blocked"
+
+        assert run(sim, client()) == "blocked"
+
+    def test_private_host_reachable_within_segment(self):
+        sim = Simulator()
+        network = Network(sim)
+        inside = Host(network, "inside", LAN_PROFILE, segment="home", public=False)
+        sibling = Host(network, "sibling", LAN_PROFILE, segment="home")
+        inside.listen(3000)
+
+        def client():
+            conn = yield sibling.connect("inside", 3000)
+            return conn.peer_name
+
+        assert run(sim, client()) == "inside"
+
+    def test_port_forwarding_reaches_inside(self):
+        sim, _network, gateway, inside, outside = self.build()
+        listener = inside.listen(3000)
+        gateway.forward(3000, "inside", 3000)
+        accepted = {}
+
+        def server():
+            conn = yield listener.accept()
+            accepted["peer"] = conn.local.name
+
+        def client():
+            conn = yield outside.connect("gw", 3000)
+            return conn.peer_name
+
+        sim.process(server())
+        peer = run(sim, client())
+        assert peer == "inside"
+        assert accepted["peer"] == "inside"
+
+    def test_forward_to_unknown_host_rejected(self):
+        _sim, _network, gateway, _inside, _outside = self.build()
+        with pytest.raises(NetworkError):
+            gateway.forward(3000, "ghost", 3000)
+
+    def test_forward_outside_segment_rejected(self):
+        _sim, _network, gateway, _inside, outside = self.build()
+        with pytest.raises(NetworkError):
+            gateway.forward(3000, "outside", 3000)
+
+    def test_remove_forward(self):
+        sim, _network, gateway, inside, outside = self.build()
+        inside.listen(3000)
+        gateway.forward(3000, "inside", 3000)
+        gateway.remove_forward(3000)
+
+        def client():
+            try:
+                yield outside.connect("gw", 3000)
+            except ConnectionRefused:
+                return "refused"
+
+        assert run(sim, client()) == "refused"

@@ -1,0 +1,229 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store, StoreClosed, drain
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.process(generator))
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+
+    def proc():
+        yield store.put("a")
+        value = yield store.get()
+        return value
+
+    assert run(sim, proc()) == "a"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def getter():
+        value = yield store.get()
+        log.append((sim.now, value))
+
+    def putter():
+        yield sim.timeout(4)
+        yield store.put("late")
+
+    sim.process(getter())
+    sim.process(putter())
+    sim.run()
+    assert log == [(4.0, "late")]
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(5):
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("first")
+        log.append(("put-first", sim.now))
+        yield store.put("second")
+        log.append(("put-second", sim.now))
+
+    def consumer():
+        yield sim.timeout(10)
+        value = yield store.get()
+        log.append(("got", value, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-first", 0.0) in log
+    assert ("got", "first", 10.0) in log
+    assert ("put-second", 10.0) in log
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_try_get_nonblocking():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_closed_store_rejects_put():
+    sim = Simulator()
+    store = Store(sim)
+    store.close()
+    with pytest.raises(StoreClosed):
+        store.put("x")
+
+
+def test_closed_store_drains_then_fails_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("left-over")
+    store.close()
+
+    def proc():
+        value = yield store.get()
+        try:
+            yield store.get()
+        except StoreClosed:
+            return (value, "closed")
+        return (value, "no error")
+
+    assert run(sim, proc()) == ("left-over", "closed")
+
+
+def test_close_fails_blocked_getters():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def getter():
+        try:
+            yield store.get()
+        except StoreClosed:
+            results.append("closed")
+
+    def closer():
+        yield sim.timeout(1)
+        store.close()
+
+    sim.process(getter())
+    sim.process(closer())
+    sim.run()
+    assert results == ["closed"]
+
+
+def test_drain_returns_all_buffered():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(3):
+        store.put(i)
+    sim.run()
+    assert drain(store) == [0, 1, 2]
+    assert len(store) == 0
+
+
+def test_resource_serializes_users():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    log = []
+
+    def user(tag, hold):
+        yield resource.request()
+        log.append((tag, "start", sim.now))
+        yield sim.timeout(hold)
+        resource.release()
+        log.append((tag, "end", sim.now))
+
+    sim.process(user("a", 2))
+    sim.process(user("b", 3))
+    sim.run()
+    assert log == [
+        ("a", "start", 0.0),
+        ("a", "end", 2.0),
+        ("b", "start", 2.0),
+        ("b", "end", 5.0),
+    ]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    starts = []
+
+    def user(tag):
+        yield resource.request()
+        starts.append((tag, sim.now))
+        yield sim.timeout(5)
+        resource.release()
+
+    for tag in ("a", "b", "c"):
+        sim.process(user(tag))
+    sim.run()
+    assert starts == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_release_without_request():
+    sim = Simulator()
+    resource = Resource(sim)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_queued_count():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def holder():
+        yield resource.request()
+        yield sim.timeout(10)
+        resource.release()
+
+    def waiter():
+        yield resource.request()
+        resource.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run(until=5)
+    assert resource.queued() == 1
+    sim.run()
+    assert resource.queued() == 0

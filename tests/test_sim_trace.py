@@ -1,0 +1,113 @@
+"""Tests for kernel instrumentation."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import InstrumentedSimulator, KernelStats
+
+
+def run_workload(sim):
+    def worker(tag):
+        for _ in range(3):
+            yield sim.timeout(1.0)
+
+    for tag in range(4):
+        sim.process(worker(tag))
+    sim.run()
+
+
+class TestInstrumentedSimulator:
+    def test_counts_are_consistent(self):
+        sim = InstrumentedSimulator()
+        run_workload(sim)
+        stats = sim.kernel_stats
+        assert stats.events_processed > 0
+        assert stats.events_scheduled >= stats.events_processed
+        assert stats.max_queue_depth >= 1
+        assert stats.failures_processed == 0
+
+    def test_same_results_as_plain_simulator(self):
+        plain = Simulator()
+        run_workload(plain)
+        instrumented = InstrumentedSimulator()
+        run_workload(instrumented)
+        assert instrumented.now == plain.now
+
+    def test_type_histogram(self):
+        sim = InstrumentedSimulator()
+        run_workload(sim)
+        assert "Timeout" in sim.kernel_stats.by_type
+        assert sim.kernel_stats.by_type["Timeout"] == 12
+
+    def test_trace_bounded(self):
+        sim = InstrumentedSimulator(trace_capacity=5)
+        run_workload(sim)
+        trace = sim.kernel_stats.recent_trace()
+        assert len(trace) == 5
+        assert all("  " in line for line in trace)
+
+    def test_trace_disabled(self):
+        sim = InstrumentedSimulator(trace_capacity=0)
+        run_workload(sim)
+        assert sim.kernel_stats.recent_trace() == []
+
+    def test_failure_counted(self):
+        sim = InstrumentedSimulator()
+
+        def crasher():
+            yield sim.timeout(1)
+            raise ValueError("x")
+
+        def watcher():
+            try:
+                yield sim.process(crasher())
+            except ValueError:
+                pass
+
+        sim.run_until_complete(sim.process(watcher()))
+        assert sim.kernel_stats.failures_processed >= 1
+
+    def test_summary_format(self):
+        sim = InstrumentedSimulator()
+        run_workload(sim)
+        summary = sim.kernel_stats.summary()
+        assert "scheduled" in summary
+        assert "Timeout" in summary
+
+    def test_reset(self):
+        sim = InstrumentedSimulator()
+        run_workload(sim)
+        sim.kernel_stats.reset()
+        assert sim.kernel_stats.events_processed == 0
+        assert sim.kernel_stats.by_type == {}
+        assert sim.kernel_stats.recent_trace() == []
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            KernelStats(trace_capacity=-1)
+
+    def test_full_stack_runs_on_instrumented_kernel(self):
+        """The whole RCB stack works unchanged on the tracing kernel."""
+        from repro.browser import Browser
+        from repro.core import CoBrowsingSession
+        from repro.net import LAN_PROFILE, Host, Network
+        from repro.webserver import OriginServer, StaticSite
+
+        sim = InstrumentedSimulator(trace_capacity=50)
+        network = Network(sim)
+        site = StaticSite("s.com")
+        site.add_page("/", "<html><head><title>T</title></head><body>b</body></html>")
+        OriginServer(network, "s.com", site.handle)
+        hb = Browser(Host(network, "h-pc", LAN_PROFILE, segment="lan"), name="h")
+        pb = Browser(Host(network, "p-pc", LAN_PROFILE, segment="lan"), name="p")
+        session = CoBrowsingSession(hb)
+
+        def scenario():
+            yield from session.join(pb)
+            yield from session.host_navigate("http://s.com/")
+            yield from session.wait_until_synced()
+
+        sim.run_until_complete(sim.process(scenario()))
+        assert pb.page.document.title == "T"
+        assert sim.kernel_stats.events_processed > 50
+        assert len(sim.kernel_stats.recent_trace()) == 50

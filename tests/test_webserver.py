@@ -1,0 +1,307 @@
+"""Tests for the synthetic origin servers: pagegen, Table-1 sites, maps, shop."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.html import parse_document
+from repro.net import LAN_PROFILE, Host, Network
+from repro.sim import Simulator
+from repro.webserver import (
+    MAP_HOST,
+    MapPageDriver,
+    MapService,
+    SHOP_HOST,
+    ShopService,
+    TABLE1_SITES,
+    deploy_table1_sites,
+    generate_site,
+    generate_table1_site,
+)
+
+
+def build_world():
+    sim = Simulator()
+    network = Network(sim)
+    user = Host(network, "user-pc", LAN_PROFILE, segment="campus")
+    return sim, network, user
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.process(generator))
+
+
+class TestPageGenerator:
+    def test_html_size_near_target(self):
+        site = generate_site("test.com", 50.0)
+        assert 0.95 * 50 * 1024 <= site.html_size <= 1.15 * 50 * 1024
+
+    def test_small_page(self):
+        site = generate_site("tiny.com", 6.8)
+        assert 0.9 * 6.8 * 1024 <= site.html_size <= 1.3 * 6.8 * 1024
+
+    def test_deterministic(self):
+        first = generate_site("stable.com", 30.0)
+        second = generate_site("stable.com", 30.0)
+        assert first.html == second.html
+        assert first.objects == second.objects
+
+    def test_different_hosts_differ(self):
+        assert generate_site("a.com", 30.0).html != generate_site("b.com", 30.0).html
+
+    def test_generated_html_parses_with_objects_discoverable(self):
+        from repro.net import parse_url
+
+        site = generate_site("parse.com", 40.0)
+        document = parse_document(site.html)
+        urls = Browser.discover_object_urls(document, parse_url("http://parse.com/"))
+        referenced_paths = {u[len("http://parse.com"):] for u in urls}
+        assert referenced_paths == set(site.object_paths)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_site("x.com", 0)
+
+
+class TestTable1Sites:
+    def test_twenty_sites_defined(self):
+        assert len(TABLE1_SITES) == 20
+        assert TABLE1_SITES[0].host == "yahoo.com"
+        assert TABLE1_SITES[12].host == "amazon.com"
+        assert TABLE1_SITES[12].page_kb == 228.5
+
+    def test_generation_matches_spec_size(self):
+        spec = TABLE1_SITES[1]  # google.com, 6.8 KB
+        site = generate_table1_site(spec)
+        assert abs(site.html_size / 1024.0 - spec.page_kb) < spec.page_kb * 0.3
+
+    def test_deploy_and_browse_one_site(self):
+        sim, network, user = build_world()
+        deploy_table1_sites(network)
+        browser = Browser(user)
+
+        def scenario():
+            return (yield from browser.navigate("http://google.com/"))
+
+        page = run(sim, scenario())
+        assert "google.com" in page.document.title
+        assert len(page.objects) > 0
+
+    def test_memoization_returns_same_object(self):
+        spec = TABLE1_SITES[3]
+        assert generate_table1_site(spec) is generate_table1_site(spec)
+
+
+class TestMapService:
+    def test_map_page_loads_with_tiles(self):
+        sim, network, user = build_world()
+        MapService(network)
+        browser = Browser(user)
+
+        def scenario():
+            return (yield from browser.navigate("http://%s/" % MAP_HOST))
+
+        page = run(sim, scenario())
+        canvas = page.document.get_element_by_id("map-canvas")
+        assert canvas is not None
+        assert len(canvas.get_elements_by_tag_name("img")) == 9
+
+    def test_search_recenters_viewport(self):
+        sim, network, user = build_world()
+        MapService(network)
+        browser = Browser(user)
+
+        def scenario():
+            yield from browser.navigate("http://%s/" % MAP_HOST)
+            driver = MapPageDriver(browser)
+            yield from driver.search("653 5th Ave, New York")
+            return driver.viewport
+
+        zoom, x, y = run(sim, scenario())
+        assert (x, y) == (1205, 1539)
+        assert zoom == 12
+
+    def test_pan_updates_tiles_and_fires_mutation(self):
+        sim, network, user = build_world()
+        MapService(network)
+        browser = Browser(user)
+        from repro.browser import TOPIC_DOCUMENT_CHANGED
+
+        mutations = []
+        browser.observers.add_observer(TOPIC_DOCUMENT_CHANGED, lambda t, p: mutations.append(p))
+
+        def scenario():
+            yield from browser.navigate("http://%s/" % MAP_HOST)
+            driver = MapPageDriver(browser)
+            yield from driver.pan(1, 0)
+            return driver.viewport
+
+        _zoom, x, _y = run(sim, scenario())
+        assert x == 1201
+        assert len(mutations) == 1
+        tile = browser.page.document.get_element_by_id("tile-0-0")
+        assert tile.get_attribute("src") == "/tiles/12/1201/1530.png"
+
+    def test_zoom_scales_coordinates(self):
+        sim, network, user = build_world()
+        MapService(network)
+        browser = Browser(user)
+
+        def scenario():
+            yield from browser.navigate("http://%s/" % MAP_HOST)
+            driver = MapPageDriver(browser)
+            yield from driver.zoom(1)
+            return driver.viewport
+
+        zoom, x, _y = run(sim, scenario())
+        assert zoom == 13
+        assert x == 2400
+
+    def test_tiles_cached_not_refetched(self):
+        sim, network, user = build_world()
+        service = MapService(network)
+        browser = Browser(user)
+
+        def scenario():
+            yield from browser.navigate("http://%s/" % MAP_HOST)
+            driver = MapPageDriver(browser)
+            yield from driver.pan(1, 0)
+            first = service.tile_requests
+            yield from driver.pan(-1, 0)  # back to tiles we already have
+            return first, service.tile_requests
+
+        first, second = run(sim, scenario())
+        # Panning back re-uses cached tiles: only the pan-forward column
+        # was fetched after the initial load.
+        assert second == first
+
+    def test_street_view_embeds_flash(self):
+        sim, network, user = build_world()
+        MapService(network)
+        browser = Browser(user)
+
+        def scenario():
+            yield from browser.navigate("http://%s/" % MAP_HOST)
+            driver = MapPageDriver(browser)
+            yield from driver.open_street_view()
+
+        run(sim, scenario())
+        embed = browser.page.document.get_element_by_id("street-view")
+        assert embed is not None
+        assert embed.get_attribute("type") == "application/x-shockwave-flash"
+
+
+class TestShop:
+    def test_home_and_search(self):
+        sim, network, user = build_world()
+        shop = ShopService(network)
+        browser = Browser(user)
+
+        def scenario():
+            yield from browser.navigate("http://%s/" % SHOP_HOST)
+            form = browser.page.document.get_element_by_id("searchform")
+            page = yield from browser.submit_form(form, {"q": "MacBook Air"})
+            return page
+
+        page = run(sim, scenario())
+        assert "results for 'MacBook Air'" in page.document.text_content
+        results = [
+            el
+            for el in page.document.descendant_elements()
+            if el.tag == "li" and el.get_attribute("class") == "result"
+        ]
+        assert len(results) == len(shop.search_catalog("MacBook Air")) >= 3
+
+    def test_session_cookie_assigned_once(self):
+        sim, network, user = build_world()
+        shop = ShopService(network)
+        browser = Browser(user)
+
+        def scenario():
+            yield from browser.navigate("http://%s/" % SHOP_HOST)
+            yield from browser.navigate("http://%s/search?q=camera" % SHOP_HOST)
+
+        run(sim, scenario())
+        assert shop.session_count() == 1
+        assert browser.cookie_jar.get(SHOP_HOST, "shopsession") is not None
+
+    def test_cart_is_session_protected(self):
+        sim, network, user = build_world()
+        ShopService(network)
+        buyer = Browser(user)
+        stranger_host = Host(user.network, "stranger-pc", LAN_PROFILE, segment="campus")
+        stranger = Browser(stranger_host)
+
+        def scenario():
+            yield from buyer.navigate("http://%s/item/mba-13-128" % SHOP_HOST)
+            form = buyer.page.document.get_element_by_id("addform")
+            yield from buyer.submit_form(form)
+            # The buyer sees the item; a stranger hitting the same URL
+            # gets an empty cart — the paper's session-protection point.
+            stranger_page = yield from stranger.navigate("http://%s/cart" % SHOP_HOST)
+            return buyer.page, stranger_page
+
+        buyer_page, stranger_page = run(sim, scenario())
+        assert "MacBook Air" in buyer_page.document.text_content
+        assert stranger_page.document.get_element_by_id("cart-empty") is not None
+
+    def test_full_checkout_flow(self):
+        sim, network, user = build_world()
+        shop = ShopService(network)
+        browser = Browser(user)
+        address = {
+            "full_name": "Alice Smith",
+            "street": "653 5th Ave",
+            "city": "New York",
+            "state": "NY",
+            "zip_code": "10022",
+        }
+
+        def scenario():
+            yield from browser.navigate("http://%s/item/mba-13-64" % SHOP_HOST)
+            add_form = browser.page.document.get_element_by_id("addform")
+            yield from browser.submit_form(add_form)  # redirects to /cart
+            assert browser.page.document.get_element_by_id("cart-items") is not None
+            yield from browser.navigate("http://%s/checkout" % SHOP_HOST)
+            address_form = browser.page.document.get_element_by_id("addressform")
+            yield from browser.submit_form(address_form, address)
+            confirm = browser.page.document.get_element_by_id("confirmform")
+            page = yield from browser.submit_form(confirm)
+            return page
+
+        page = run(sim, scenario())
+        assert page.document.get_element_by_id("order-complete") is not None
+        assert shop.order_count() == 1
+
+    def test_checkout_requires_address_fields(self):
+        sim, network, user = build_world()
+        ShopService(network)
+        browser = Browser(user)
+
+        def scenario():
+            yield from browser.navigate("http://%s/item/mba-13-64" % SHOP_HOST)
+            add_form = browser.page.document.get_element_by_id("addform")
+            yield from browser.submit_form(add_form)
+            yield from browser.navigate("http://%s/checkout" % SHOP_HOST)
+            address_form = browser.page.document.get_element_by_id("addressform")
+            page = yield from browser.submit_form(address_form, {"full_name": "Bob"})
+            return page
+
+        page = run(sim, scenario())
+        assert page.document.get_element_by_id("address-error") is not None
+
+    def test_checkout_with_empty_cart(self):
+        sim, network, user = build_world()
+        ShopService(network)
+        browser = Browser(user)
+
+        def scenario():
+            return (yield from browser.navigate("http://%s/checkout" % SHOP_HOST))
+
+        page = run(sim, scenario())
+        assert page.document.get_element_by_id("cart-empty") is not None
+
+    def test_catalog_contains_scenario_products(self):
+        sim, network, _user = build_world()
+        shop = ShopService(network)
+        airs = shop.search_catalog("macbook air")
+        assert len(airs) >= 2  # Bob's pick and Alice's different pick
