@@ -12,7 +12,6 @@ Run with:  python examples/quickstart.py
 """
 
 from repro import Browser, CoBrowsingSession, Host, LAN_PROFILE, Network, Simulator
-from repro.http import html_response
 from repro.webserver import OriginServer, StaticSite
 
 

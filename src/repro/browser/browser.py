@@ -14,10 +14,10 @@ All I/O methods (``navigate``, ``click_link``, ``submit_form``,
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..html import Document, Element, parse_document
-from ..http import CookieJar, Headers, HttpClient, HttpResponse, RequestFailed, encode_form
+from ..http import CookieJar, Headers, HttpClient, RequestFailed, encode_form
 from ..net.socket import Host
 from ..net.url import Url, parse_url, resolve_url
 from ..sim import AllOf, Simulator

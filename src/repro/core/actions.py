@@ -12,7 +12,7 @@ category and document-order index on both sides.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = [
     "UserAction",

@@ -22,6 +22,7 @@ changes (Ajax/DHTML), and object downloads, via the observer service.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from ..browser.browser import Browser, BrowserExtension
@@ -47,11 +48,12 @@ from .actions import (
     encode_actions,
     resolve_reference,
 )
-from .cachepolicy import CacheModePolicy, coerce_cache_policy
+from .cachepolicy import coerce_cache_policy
 from .content import AGENT_OBJECT_PATH, ContentGenerator
+from .delta import content_tree, diff_trees
 from .policy import ModerationPolicy, OpenPolicy, PendingAction
 from .security import AuthError, verify_request_target
-from .xmlformat import js_escape
+from .xmlformat import NewContent, build_envelope, js_escape
 
 __all__ = ["RCBAgent", "ParticipantState", "AGENT_DEFAULT_PORT", "TOPIC_ROSTER_CHANGED"]
 
@@ -95,6 +97,8 @@ class RCBAgent(BrowserExtension):
         replicate_cookies: bool = False,
         generation_cost_per_kb: float = 0.0,
         announce_presence: bool = False,
+        enable_delta: bool = True,
+        delta_history: int = 8,
     ):
         super().__init__()
         self.port = port
@@ -128,6 +132,13 @@ class RCBAgent(BrowserExtension):
         #: Push roster snapshots to participants on join/leave — the
         #: connection/status indicator the usability subjects asked for.
         self.announce_presence = announce_presence
+        #: Delta envelopes: answer a recent participant with a DOM diff
+        #: against its last-acknowledged snapshot instead of the full
+        #: regenerated page.  Full envelopes remain the fallback for
+        #: stale participants, evicted snapshots, and oversized diffs.
+        self.enable_delta = enable_delta
+        #: How many distinct document states the snapshot ring retains.
+        self.delta_history = delta_history
         self._change_waiters: List = []
 
         self.generator = ContentGenerator(AGENT_OBJECT_PATH)
@@ -145,6 +156,13 @@ class RCBAgent(BrowserExtension):
         self._generated_xml: Dict[str, str] = {}
         self._generated_for_time = -1
         self._generation_count = 0
+        #: Snapshot ring: doc_time -> cache-mode key -> canonical content
+        #: tree (repro.core.delta), for the last ``delta_history``
+        #: generated document states.
+        self._snapshots: "OrderedDict[int, Dict[str, object]]" = OrderedDict()
+        #: Memoized ops JSON per (base_time, mode_key) for the *current*
+        #: document state: participants at the same base share one diff.
+        self._delta_memo: Dict = {}
 
         self._listener: Optional[ListenSocket] = None
         self._accept_proc = None
@@ -162,6 +180,12 @@ class RCBAgent(BrowserExtension):
             "actions_dropped": 0,
             "action_errors": 0,
             "last_generation_seconds": 0.0,
+            "delta_responses": 0,
+            "full_responses": 0,
+            "delta_fallbacks": 0,
+            "delta_bytes_sent": 0,
+            "full_bytes_sent": 0,
+            "delta_bytes_saved": 0,
         }
 
     # -- extension lifecycle -----------------------------------------------------------
@@ -365,12 +389,22 @@ class RCBAgent(BrowserExtension):
             xml = self._envelope_with_actions(outbound, participant_id)
             participant.content_responses += 1
             self.stats["content_responses"] += 1
+            self.stats["full_responses"] += 1
+            self.stats["full_bytes_sent"] += len(xml)
             return self._xml(xml)
         if self._doc_time > their_time and self.browser.page is not None:
-            # Step 3: response sending, with new content.
+            # Step 3: response sending, with new content — a delta
+            # envelope when this participant's acknowledged state is
+            # still in the snapshot ring, the full envelope otherwise.
             participant.outbound_actions = []
             generations_before = self._generation_count
-            xml = self._envelope_with_actions(outbound, participant_id)
+            xml, is_delta = self._content_envelope(participant_id, their_time, outbound)
+            if is_delta:
+                self.stats["delta_responses"] += 1
+                self.stats["delta_bytes_sent"] += len(xml)
+            else:
+                self.stats["full_responses"] += 1
+                self.stats["full_bytes_sent"] += len(xml)
             if (
                 self.generation_cost_per_kb > 0
                 and self._generation_count > generations_before
@@ -429,6 +463,7 @@ class RCBAgent(BrowserExtension):
         """
         if self._generated_for_time != self._doc_time:
             self._generated_xml = {}
+            self._delta_memo = {}
             self._generated_for_time = self._doc_time
         mode_key = self.cache_policy.mode_key(participant_id)
         cached = self._generated_xml.get(mode_key)
@@ -473,7 +508,61 @@ class RCBAgent(BrowserExtension):
         self._generated_xml[mode_key] = generated.xml_text
         self._generation_count += 1
         self.stats["last_generation_seconds"] = generated.generation_seconds
+        if self.enable_delta:
+            self._store_snapshot(self._doc_time, mode_key, generated.content)
         return generated.xml_text
+
+    # -- delta envelopes ---------------------------------------------------------------
+
+    def _store_snapshot(self, doc_time: int, mode_key: str, content) -> None:
+        """Retain the canonical tree of a generated state in the ring."""
+        per_mode = self._snapshots.get(doc_time)
+        if per_mode is None:
+            while len(self._snapshots) >= max(1, self.delta_history):
+                self._snapshots.popitem(last=False)
+            per_mode = self._snapshots[doc_time] = {}
+        if mode_key not in per_mode:
+            per_mode[mode_key] = content_tree(content)
+
+    def _snapshot_tree(self, doc_time: int, mode_key: str):
+        per_mode = self._snapshots.get(doc_time)
+        return None if per_mode is None else per_mode.get(mode_key)
+
+    def _content_envelope(self, participant_id, their_time, actions):
+        """The content response for one participant: ``(xml, is_delta)``.
+
+        Prefers a delta envelope when the participant's acknowledged
+        ``their_time`` is still in the snapshot ring and the diff is
+        actually smaller than the full envelope; every other case —
+        delta disabled, brand-new participant, evicted snapshot, or an
+        edit so large the diff loses — falls back to the full envelope.
+        """
+        full = self._envelope_with_actions(actions, participant_id)
+        if not self.enable_delta or their_time <= 0:
+            return full, False
+        mode_key = self.cache_policy.mode_key(participant_id)
+        ops_json = self._delta_memo.get((their_time, mode_key))
+        if ops_json is None:
+            old_tree = self._snapshot_tree(their_time, mode_key)
+            new_tree = self._snapshot_tree(self._doc_time, mode_key)
+            if old_tree is None or new_tree is None:
+                self.stats["delta_fallbacks"] += 1
+                return full, False
+            ops = diff_trees(old_tree, new_tree)
+            ops_json = json.dumps(ops, separators=(",", ":"))
+            self._delta_memo[(their_time, mode_key)] = ops_json
+        content = NewContent(
+            self._doc_time,
+            user_actions_json=encode_actions(actions) if actions else "[]",
+            base_time=their_time,
+            delta_ops_json=ops_json,
+        )
+        delta_xml = build_envelope(content)
+        if len(delta_xml) >= len(full):
+            self.stats["delta_fallbacks"] += 1
+            return full, False
+        self.stats["delta_bytes_saved"] += len(full) - len(delta_xml)
+        return delta_xml, True
 
     @property
     def generation_count(self) -> int:
@@ -488,8 +577,6 @@ class RCBAgent(BrowserExtension):
         return self._splice_actions(xml, actions)
 
     def _action_only_envelope(self, actions: List[UserAction]) -> str:
-        from .xmlformat import NewContent, build_envelope
-
         content = NewContent(self._doc_time, [], [], encode_actions(actions))
         return build_envelope(content)
 

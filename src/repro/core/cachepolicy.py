@@ -20,7 +20,7 @@ A policy answers two questions:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Iterable, Optional, Set
 
 __all__ = [
     "CacheModePolicy",

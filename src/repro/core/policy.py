@@ -11,7 +11,7 @@ it names.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from .actions import UserAction
 

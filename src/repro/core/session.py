@@ -16,10 +16,9 @@ and join others; participants may join or leave at any time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..browser.browser import Browser
-from ..sim import SimulationError
 from .agent import AGENT_DEFAULT_PORT, RCBAgent
 from .policy import ModerationPolicy
 from .snippet import AjaxSnippet
@@ -43,6 +42,7 @@ class CoBrowsingSession:
         secret: Optional[str] = None,
         poll_interval: float = 1.0,
         agent: Optional[RCBAgent] = None,
+        enable_delta: bool = True,
     ):
         self.host_browser = host_browser
         self.sim = host_browser.sim
@@ -53,6 +53,7 @@ class CoBrowsingSession:
                 policy=policy,
                 secret=secret,
                 poll_interval=poll_interval,
+                enable_delta=enable_delta,
             )
         self.agent = agent
         self.agent.install(host_browser)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from ..browser.browser import Browser
 from ..http import RequestFailed
@@ -45,6 +45,7 @@ from .actions import (
     decode_actions,
 )
 from .content import REF_ATTRIBUTE
+from .delta import DeltaError, apply_delta
 from .security import sign_request_target
 from .xmlformat import EnvelopeError, NewContent, parse_envelope
 
@@ -60,6 +61,11 @@ class SnippetStats:
         self.polls_sent = 0
         self.empty_responses = 0
         self.content_updates = 0
+        #: Content updates applied incrementally from a <delta> section.
+        self.delta_updates = 0
+        #: Deltas that could not be applied (base mismatch, bad ops) and
+        #: forced a full-envelope resync on the next poll.
+        self.delta_failures = 0
         self.action_only_updates = 0
         self.actions_sent = 0
         self.actions_received: List[UserAction] = []
@@ -209,6 +215,11 @@ class AjaxSnippet:
             self.stats.empty_responses += 1
             return False
 
+        if content.is_delta:
+            applied = yield from self._process_delta(content, poll_started)
+            self._deliver_actions(content)
+            return applied
+
         has_content = bool(content.head_children or content.top_elements)
         if has_content:
             sync_seconds = self.sim.now - poll_started
@@ -231,6 +242,64 @@ class AjaxSnippet:
 
         self._deliver_actions(content)
         return has_content
+
+    def _process_delta(self, content: NewContent, poll_started: float):
+        """The fifth update path: apply a <delta> section in place.
+
+        Any mismatch — the delta's base is not exactly our current
+        content, an op fails against our tree, malformed ops — resets
+        ``last_doc_time`` to zero so the next poll requests a full
+        envelope (resync).  Deltas are an optimization, never a
+        correctness dependency.
+        """
+        sync_seconds = self.sim.now - poll_started
+        ok = False
+        if content.base_time == self.last_doc_time:
+            wall_started = time.perf_counter()
+            try:
+                self._apply_delta_ops(content)
+                ok = True
+            except (DeltaError, ValueError):
+                ok = False
+            self.stats.last_update_seconds = time.perf_counter() - wall_started
+        if not ok:
+            self.stats.delta_failures += 1
+            self.last_doc_time = 0  # force a full-envelope resync next poll
+            yield self.sim.timeout(0)
+            return False
+        self._apply_replicated_cookies(content)
+        self.stats.last_sync_seconds = sync_seconds
+        if self.fetch_objects:
+            elapsed = yield from self.browser.fetch_current_objects()
+            self.stats.last_objects_seconds = elapsed
+        self.last_doc_time = content.doc_time
+        self.stats.content_updates += 1
+        self.stats.delta_updates += 1
+        return True
+
+    def _apply_delta_ops(self, content: NewContent) -> None:
+        """Apply the ops with Ajax-Snippet's own <script> lifted out, so
+        the document matches the agent's canonical snapshot exactly."""
+        document = self.browser.page.document
+        html = document.document_element
+        head = document.head
+        if html is None or head is None:
+            raise DeltaError("participant document has no html/head")
+        snippet_script = None
+        for node in head.children:
+            if node.tag == "script" and node.get_attribute("id") == _SNIPPET_SCRIPT_ID:
+                snippet_script = node
+                head.remove_child(node)
+                break
+        try:
+            ops = json.loads(content.delta_ops_json)
+            apply_delta(html, ops)
+        finally:
+            if snippet_script is not None:
+                target_head = document.head
+                if target_head is not None:
+                    target_head.insert_before(snippet_script, target_head.first_child)
+        self.browser.page.version += 1
 
     def _apply_update(self, content: NewContent) -> None:
         """The four-step in-place update of the current document."""

@@ -25,6 +25,22 @@ combination of DOM structure and innerHTML performance the paper calls
 out in §4.1.2.  The escape encoding leaves no ``]``, ``<`` or ``&``
 characters in the payload, which is what makes the content "precisely
 contained" in the XML message.
+
+**Delta envelopes** extend the format: when the agent can diff the
+participant's last-acknowledged document state against the current one
+(see :mod:`repro.core.delta`), ``docContent`` is replaced by a
+``baseTime`` marker plus a ``delta`` section carrying the JSON-encoded
+node operations::
+
+    <newContent>
+      <docTime>documentTimestamp</docTime>
+      <baseTime>participantTimestamp</baseTime>
+      <delta><![CDATA[escape(opsJson)]]></delta>
+      <userActions>userActionData</userActions>
+    </newContent>
+
+A receiver whose document is not exactly at ``baseTime`` discards the
+delta and resyncs with a full envelope.
 """
 
 from __future__ import annotations
@@ -181,6 +197,8 @@ class NewContent:
         top_elements: Optional[List[TopElement]] = None,
         user_actions_json: str = "[]",
         cookies_json: str = "[]",
+        base_time: Optional[int] = None,
+        delta_ops_json: Optional[str] = None,
     ):
         self.doc_time = int(doc_time)
         self.head_children = list(head_children or [])
@@ -189,11 +207,26 @@ class NewContent:
         #: Optional replicated host cookies (extension feature; the
         #: paper mentions the capability without needing it).
         self.cookies_json = cookies_json
+        #: Delta envelopes: the document timestamp the operations apply
+        #: against, and the JSON-encoded ops (repro.core.delta format).
+        self.base_time = None if base_time is None else int(base_time)
+        self.delta_ops_json = delta_ops_json
+        if delta_ops_json is not None:
+            if self.base_time is None:
+                raise EnvelopeError("delta content requires a base_time")
+            if self.head_children or self.top_elements:
+                raise EnvelopeError("delta and full content are mutually exclusive")
 
     @property
     def uses_frames(self) -> bool:
         """Whether the content carries a frameset page."""
         return any(top.name == "frameset" for top in self.top_elements)
+
+    @property
+    def is_delta(self) -> bool:
+        """Whether this envelope carries incremental operations instead
+        of the full document content."""
+        return self.delta_ops_json is not None
 
     def __eq__(self, other):
         return (
@@ -203,9 +236,13 @@ class NewContent:
             and self.top_elements == other.top_elements
             and self.user_actions_json == other.user_actions_json
             and self.cookies_json == other.cookies_json
+            and self.base_time == other.base_time
+            and self.delta_ops_json == other.delta_ops_json
         )
 
     def __repr__(self):
+        if self.is_delta:
+            return "NewContent(t=%d, delta from t=%d)" % (self.doc_time, self.base_time)
         return "NewContent(t=%d, %d head children, %s)" % (
             self.doc_time,
             len(self.head_children),
@@ -221,23 +258,27 @@ def build_envelope(content: NewContent) -> str:
     """Serialize a :class:`NewContent` to the Fig. 4 XML text."""
     parts = ["<?xml version='1.0' encoding='utf-8'?>", "<newContent>"]
     parts.append("<docTime>%d</docTime>" % content.doc_time)
-    parts.append("<docContent>")
-    parts.append("<docHead>")
-    for index, child in enumerate(content.head_children, start=1):
-        payload = js_escape(
-            json.dumps(
-                {"tag": child.tag, "attrs": child.attributes, "inner": child.inner_html}
+    if content.is_delta:
+        parts.append("<baseTime>%d</baseTime>" % content.base_time)
+        parts.append("<delta><![CDATA[%s]]></delta>" % js_escape(content.delta_ops_json))
+    else:
+        parts.append("<docContent>")
+        parts.append("<docHead>")
+        for index, child in enumerate(content.head_children, start=1):
+            payload = js_escape(
+                json.dumps(
+                    {"tag": child.tag, "attrs": child.attributes, "inner": child.inner_html}
+                )
             )
-        )
-        parts.append("<hChild%d><![CDATA[%s]]></hChild%d>" % (index, payload, index))
-    parts.append("</docHead>")
-    for top in content.top_elements:
-        tag = _TOP_TAG_NAMES[top.name]
-        payload = js_escape(
-            json.dumps({"attrs": top.attributes, "inner": top.inner_html})
-        )
-        parts.append("<%s><![CDATA[%s]]></%s>" % (tag, payload, tag))
-    parts.append("</docContent>")
+            parts.append("<hChild%d><![CDATA[%s]]></hChild%d>" % (index, payload, index))
+        parts.append("</docHead>")
+        for top in content.top_elements:
+            tag = _TOP_TAG_NAMES[top.name]
+            payload = js_escape(
+                json.dumps({"attrs": top.attributes, "inner": top.inner_html})
+            )
+            parts.append("<%s><![CDATA[%s]]></%s>" % (tag, payload, tag))
+        parts.append("</docContent>")
     parts.append(
         "<userActions><![CDATA[%s]]></userActions>"
         % js_escape(content.user_actions_json)
@@ -292,7 +333,27 @@ def parse_envelope(text: str) -> NewContent:
     cookies_raw = _extract(text, "docCookies")
     cookies_json = js_unescape(_strip_cdata(cookies_raw)) if cookies_raw else "[]"
 
-    return NewContent(doc_time, head_children, top_elements, actions_json, cookies_json)
+    base_time: Optional[int] = None
+    delta_ops_json: Optional[str] = None
+    delta_raw = _extract(text, "delta")
+    if delta_raw is not None:
+        base_time_text = _extract(text, "baseTime")
+        if base_time_text is None or not base_time_text.strip().lstrip("-").isdigit():
+            raise EnvelopeError("delta envelope missing or bad baseTime")
+        base_time = int(base_time_text.strip())
+        delta_ops_json = js_unescape(_strip_cdata(delta_raw))
+        if head_children or top_elements:
+            raise EnvelopeError("envelope carries both delta and full content")
+
+    return NewContent(
+        doc_time,
+        head_children,
+        top_elements,
+        actions_json,
+        cookies_json,
+        base_time=base_time,
+        delta_ops_json=delta_ops_json,
+    )
 
 
 def _extract(text: str, tag: str) -> Optional[str]:

@@ -9,7 +9,7 @@ processing), and character references in text and attribute values.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from .entities import decode_entities
 from .dom import RAW_TEXT_ELEMENTS

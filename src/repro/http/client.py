@@ -15,7 +15,7 @@ from ..net.socket import Host, Connection, NetworkError
 from ..net.url import Url, parse_url
 from ..sim import StoreClosed
 from .cookies import CookieJar
-from .message import Headers, HttpError, HttpRequest, HttpResponse
+from .message import Headers, HttpError, HttpRequest
 from .parser import ResponseParser
 
 __all__ = ["HttpClient", "RequestFailed"]

@@ -13,7 +13,7 @@ explicitly rather than mis-parsed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 from .message import CRLF, Headers, HttpError, HttpRequest, HttpResponse
 

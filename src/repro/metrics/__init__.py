@@ -4,6 +4,7 @@ from .harness import ExperimentResult, POLL_INTERVAL, run_experiment, run_round
 from .metrics import SiteMeasurement, average_measurements, measure_site_cobrowsing
 from .report import (
     bar,
+    render_delta_summary,
     render_figure_m1_m2,
     render_figure_m3_m4,
     render_shape_checks,
@@ -17,6 +18,7 @@ __all__ = [
     "average_measurements",
     "bar",
     "measure_site_cobrowsing",
+    "render_delta_summary",
     "render_figure_m1_m2",
     "render_figure_m3_m4",
     "render_shape_checks",

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.session import CoBrowsingSession
 from ..webserver.sites import TABLE1_SITES, SiteSpec
-from ..workloads.environments import Testbed, build_lan, build_wan
+from ..workloads.environments import build_lan, build_wan
 from .metrics import SiteMeasurement, average_measurements, measure_site_cobrowsing
 
 __all__ = ["ExperimentResult", "run_round", "run_experiment", "POLL_INTERVAL"]

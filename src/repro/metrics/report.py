@@ -7,11 +7,12 @@ Figure 6/7 (M1 vs M2 per site), Figure 8 (M3 vs M4 per site), Table 1
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from .metrics import SiteMeasurement
 
 __all__ = [
+    "render_delta_summary",
     "render_figure_m1_m2",
     "render_figure_m3_m4",
     "render_table1",
@@ -111,4 +112,29 @@ def render_shape_checks(checks: Dict[str, bool]) -> str:
     lines = ["Shape checks (paper claim -> this reproduction):"]
     for name, passed in checks.items():
         lines.append("  [%s] %s" % ("PASS" if passed else "FAIL", name))
+    return "\n".join(lines)
+
+
+def render_delta_summary(agent_stats: Dict[str, int], title: str = "Delta envelopes") -> str:
+    """Delta-vs-full accounting from an :class:`RCBAgent`'s stats dict:
+    how many content responses went out incrementally and the bytes the
+    diffs saved relative to full envelopes."""
+    delta = agent_stats.get("delta_responses", 0)
+    full = agent_stats.get("full_responses", 0)
+    fallbacks = agent_stats.get("delta_fallbacks", 0)
+    delta_bytes = agent_stats.get("delta_bytes_sent", 0)
+    full_bytes = agent_stats.get("full_bytes_sent", 0)
+    saved = agent_stats.get("delta_bytes_saved", 0)
+    total = delta + full
+    lines = [
+        "%s: %d of %d content responses incremental" % (title, delta, total),
+        "  full envelopes: %d (%d resync/oversize fallbacks)" % (full, fallbacks),
+        "  bytes on the wire: %d delta + %d full" % (delta_bytes, full_bytes),
+        "  bytes saved by diffs: %d" % saved,
+    ]
+    if delta and saved:
+        lines.append(
+            "  average delta response is %.1fx smaller than the full envelope"
+            % ((delta_bytes + saved) / max(1, delta_bytes))
+        )
     return "\n".join(lines)

@@ -16,7 +16,7 @@ WAN experiments.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..sim import Event, Simulator, Store
 from .link import AccessLink, LinkProfile

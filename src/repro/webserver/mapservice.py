@@ -18,7 +18,7 @@ step 9).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..browser.browser import Browser
 from ..http import Headers, HttpRequest, HttpResponse, html_response

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
-from ..http import Headers, HttpRequest, HttpResponse, HttpServer, html_response
+from ..http import Headers, HttpRequest, HttpResponse, HttpServer
 from ..net.link import SERVER_PROFILE, LinkProfile
 from ..net.socket import Host, Network
 from .pagegen import GeneratedSite

@@ -12,7 +12,7 @@ from typing import Dict, List
 
 from ..net.socket import Network
 from .pagegen import GeneratedSite, generate_site
-from .server import OriginServer, deploy_site
+from .server import OriginServer
 
 __all__ = ["SiteSpec", "TABLE1_SITES", "generate_table1_site", "deploy_table1_sites"]
 

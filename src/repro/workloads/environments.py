@@ -11,7 +11,7 @@ map service and the shop used by the usability scenarios.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..browser.browser import Browser
 from ..net.link import (

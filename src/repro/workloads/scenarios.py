@@ -11,7 +11,7 @@ mediate; voice exchanges are modelled as zero-cost annotations.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from ..browser.browser import Browser
 from ..core.session import CoBrowsingSession

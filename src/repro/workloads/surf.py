@@ -11,7 +11,7 @@ step.  Used by the soak tests and the throughput benchmark.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.session import CoBrowsingSession
 from ..webserver.sites import TABLE1_SITES

@@ -15,7 +15,7 @@ from repro.browser.script import parse_call_expression
 from repro.http import Headers, HttpResponse, html_response
 from repro.net import LAN_PROFILE, Host, Network, parse_url
 from repro.sim import Simulator
-from repro.webserver import OriginServer, StaticSite, generate_site, deploy_site
+from repro.webserver import OriginServer, StaticSite
 
 
 def build_world():

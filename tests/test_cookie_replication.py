@@ -1,6 +1,5 @@
 """Tests for the cookie-replication extension (paper §4.1.2 extension)."""
 
-import pytest
 
 from repro.browser import Browser
 from repro.core import CoBrowsingSession, NewContent, build_envelope, parse_envelope

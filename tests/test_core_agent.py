@@ -6,7 +6,6 @@ import pytest
 
 from repro.browser import Browser
 from repro.core import (
-    AGENT_DEFAULT_PORT,
     ClickAction,
     ConfirmPolicy,
     MouseMoveAction,
@@ -16,7 +15,7 @@ from repro.core import (
     parse_envelope,
     sign_request_target,
 )
-from repro.http import HttpClient, parse_response_bytes
+from repro.http import HttpClient
 from repro.net import LAN_PROFILE, Host, Network
 from repro.sim import Simulator
 from repro.webserver import OriginServer, StaticSite

@@ -1,0 +1,248 @@
+"""Unit tests for the delta diff engine (repro.core.delta)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DeltaError,
+    HeadChild,
+    NewContent,
+    TopElement,
+    apply_delta,
+    content_tree,
+    diff_trees,
+)
+from repro.html import Comment, Element, Text, parse_document, serialize_node
+
+
+def tree(markup):
+    """A canonical html tree parsed from full-document markup."""
+    return parse_document(markup).document_element
+
+
+def roundtrip(old_markup, new_markup):
+    """Diff two documents, apply to a clone of the old, return (ops, result)."""
+    old = tree(old_markup)
+    new = tree(new_markup)
+    ops = diff_trees(old, new)
+    target = old.clone(deep=True)
+    apply_delta(target, ops)
+    assert serialize_node(target) == serialize_node(new)
+    return ops
+
+
+class TestDiffApply:
+    def test_identical_trees_produce_no_ops(self):
+        markup = "<html><head><title>T</title></head><body><p>hi</p></body></html>"
+        assert roundtrip(markup, markup) == []
+
+    def test_single_text_edit_is_one_text_op(self):
+        ops = roundtrip(
+            "<html><head></head><body><p>old text</p><p>stays</p></body></html>",
+            "<html><head></head><body><p>new text</p><p>stays</p></body></html>",
+        )
+        assert len(ops) == 1
+        assert ops[0]["op"] == "text"
+        assert ops[0]["data"] == "new text"
+
+    def test_attribute_change_is_one_attrs_op(self):
+        ops = roundtrip(
+            '<html><head></head><body><div class="a" id="x">c</div></body></html>',
+            '<html><head></head><body><div class="b" id="x">c</div></body></html>',
+        )
+        assert [op["op"] for op in ops] == ["attrs"]
+        assert ["class", "b"] in ops[0]["attrs"]
+
+    def test_append_child_is_one_insert_op(self):
+        ops = roundtrip(
+            "<html><head></head><body><p>a</p></body></html>",
+            "<html><head></head><body><p>a</p><p>b</p></body></html>",
+        )
+        assert [op["op"] for op in ops] == ["insert"]
+
+    def test_remove_tail_children(self):
+        ops = roundtrip(
+            "<html><head></head><body><p>a</p><p>b</p><i>c</i></body></html>",
+            "<html><head></head><body><p>a</p></body></html>",
+        )
+        assert all(op["op"] == "remove" for op in ops)
+
+    def test_replace_on_tag_change(self):
+        ops = roundtrip(
+            "<html><head></head><body><p>a</p></body></html>",
+            "<html><head></head><body><div>a</div></body></html>",
+        )
+        assert [op["op"] for op in ops] == ["replace"]
+
+    def test_nested_edit_uses_deep_path(self):
+        ops = roundtrip(
+            "<html><head></head><body><div><ul><li>one</li><li>two</li></ul></div></body></html>",
+            "<html><head></head><body><div><ul><li>one</li><li>TWO</li></ul></div></body></html>",
+        )
+        assert len(ops) == 1
+        # body -> div -> ul -> li -> text node
+        assert ops[0]["path"] == [0, 0, 1, 0]
+
+    def test_head_edits_use_head_section(self):
+        ops = roundtrip(
+            "<html><head><title>Old</title></head><body></body></html>",
+            "<html><head><title>New</title></head><body></body></html>",
+        )
+        assert all(op["sec"] == "head" for op in ops)
+
+    def test_body_to_frameset_shape_change(self):
+        ops = roundtrip(
+            "<html><head></head><body><p>plain</p></body></html>",
+            "<html><head></head><frameset cols='*,*'><frame src='a'></frameset></html>",
+        )
+        kinds = {op["op"] for op in ops}
+        assert "drop" in kinds and "top" in kinds
+
+    def test_top_attrs_change(self):
+        ops = roundtrip(
+            "<html><head></head><body><p>x</p></body></html>",
+            "<html><head></head><body bgcolor='red'><p>x</p></body></html>",
+        )
+        assert [op["op"] for op in ops] == ["top"]
+
+    def test_raw_text_script_edit_survives(self):
+        roundtrip(
+            "<html><head><script>var a = '<p>&amp;';</script></head><body></body></html>",
+            "<html><head><script>var a = '<div>&lt;';</script></head><body></body></html>",
+        )
+
+    def test_comment_edit(self):
+        ops = roundtrip(
+            "<html><head></head><body><!--one--><p>x</p></body></html>",
+            "<html><head></head><body><!--two--><p>x</p></body></html>",
+        )
+        assert [op["op"] for op in ops] == ["comment"]
+
+
+class TestApplyRejects:
+    def body_tree(self):
+        return tree("<html><head></head><body><p>x</p></body></html>")
+
+    def test_dangling_path(self):
+        with pytest.raises(DeltaError):
+            apply_delta(self.body_tree(), [{"op": "remove", "sec": "body", "path": [9]}])
+
+    def test_missing_section(self):
+        with pytest.raises(DeltaError):
+            apply_delta(
+                self.body_tree(), [{"op": "text", "sec": "frameset", "path": [0], "data": "x"}]
+            )
+
+    def test_unknown_section(self):
+        with pytest.raises(DeltaError):
+            apply_delta(self.body_tree(), [{"op": "remove", "sec": "nav", "path": [0]}])
+
+    def test_type_confused_text_op(self):
+        with pytest.raises(DeltaError):
+            apply_delta(
+                self.body_tree(), [{"op": "text", "sec": "body", "path": [0], "data": "x"}]
+            )
+
+    def test_unknown_op_kind(self):
+        with pytest.raises(DeltaError):
+            apply_delta(self.body_tree(), [{"op": "teleport", "sec": "body", "path": [0]}])
+
+    def test_malformed_op_record(self):
+        with pytest.raises(DeltaError):
+            apply_delta(self.body_tree(), [{"op": "insert", "sec": "body"}])
+        with pytest.raises(DeltaError):
+            apply_delta(self.body_tree(), ["not-a-dict"])
+        with pytest.raises(DeltaError):
+            apply_delta(self.body_tree(), "not-a-list")
+
+    def test_drop_head_rejected(self):
+        with pytest.raises(DeltaError):
+            apply_delta(self.body_tree(), [{"op": "drop", "sec": "head"}])
+
+    def test_partial_failure_raises_midway(self):
+        target = self.body_tree()
+        ops = [
+            {"op": "text", "sec": "body", "path": [0, 0], "data": "applied"},
+            {"op": "remove", "sec": "body", "path": [7]},
+        ]
+        with pytest.raises(DeltaError):
+            apply_delta(target, ops)
+        # The first op landed; callers are expected to resync.
+        assert "applied" in serialize_node(target)
+
+
+class TestContentTree:
+    def test_content_tree_mirrors_full_update(self):
+        content = NewContent(
+            1,
+            [HeadChild("title", [], "T"), HeadChild("style", [("media", "all")], "p{}")],
+            [TopElement("body", [("class", "c")], "<p>hello <b>bold</b></p>")],
+        )
+        html = content_tree(content)
+        head = html.children[0]
+        assert head.tag == "head"
+        assert [c.tag for c in head.children] == ["title", "style"]
+        body = html.children[1]
+        assert body.get_attribute("class") == "c"
+        assert serialize_node(body) == '<body class="c"><p>hello <b>bold</b></p></body>'
+
+
+def random_document(rng):
+    document = parse_document("<html><head><title>t</title></head><body></body></html>")
+    body = document.body
+    for _ in range(rng.randrange(3, 12)):
+        _random_insert(rng, body)
+    return document
+
+
+_TAGS = ["div", "p", "span", "ul", "li", "b"]
+
+
+def _random_insert(rng, parent):
+    roll = rng.random()
+    if roll < 0.5:
+        node = Text("txt-%d" % rng.randrange(1000))
+    elif roll < 0.6:
+        node = Comment("c-%d" % rng.randrange(1000))
+    else:
+        node = Element(rng.choice(_TAGS), {"data-n": str(rng.randrange(100))})
+        for _ in range(rng.randrange(0, 3)):
+            node.append_child(Text("in-%d" % rng.randrange(1000)))
+    spots = parent.child_nodes
+    reference = spots[rng.randrange(len(spots))] if spots else None
+    parent.insert_before(node, reference)
+
+
+def _random_edit(rng, document):
+    """One random mutation: text edit, attr churn, insert, or remove."""
+    body = document.body
+    nodes = [n for n in body.descendants()]
+    roll = rng.random()
+    texts = [n for n in nodes if isinstance(n, Text)]
+    elements = [n for n in nodes if isinstance(n, Element)]
+    if roll < 0.35 and texts:
+        rng.choice(texts).data = "edit-%d" % rng.randrange(10000)
+    elif roll < 0.55 and elements:
+        rng.choice(elements).set_attribute("data-n", str(rng.randrange(10000)))
+    elif roll < 0.8:
+        parents = [body] + [e for e in elements if e.tag in ("div", "ul", "li")]
+        _random_insert(rng, rng.choice(parents))
+    elif nodes:
+        victim = rng.choice(nodes)
+        victim.parent.remove_child(victim)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_edit_sequences_roundtrip(seed):
+    """Property-style: across random edit sequences, diff+apply always
+    reproduces the new tree byte-for-byte (serialized)."""
+    rng = random.Random(seed)
+    document = random_document(rng)
+    current = document.document_element.clone(deep=True)
+    for _ in range(12):
+        _random_edit(rng, document)
+        new = document.document_element
+        ops = diff_trees(current, new)
+        apply_delta(current, ops)
+        assert serialize_node(current) == serialize_node(new)

@@ -8,8 +8,8 @@ the agent port, cache evictions between generation and object fetch.
 import pytest
 
 from repro.browser import Browser, NavigationError
-from repro.core import AjaxSnippet, CoBrowsingSession
-from repro.http import HttpClient, RequestFailed
+from repro.core import CoBrowsingSession
+from repro.http import HttpClient
 from repro.net import LAN_PROFILE, Host, Network
 from repro.sim import Simulator
 from repro.webserver import OriginServer, StaticSite

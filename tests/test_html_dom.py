@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.html import Comment, Document, DomError, Element, Text, parse_document
+from repro.html import Document, DomError, Element, Text, parse_document
 
 
 class TestTreeManipulation:

@@ -1,6 +1,5 @@
 """Unit tests for tokenizer, parser, serializer behaviour."""
 
-import pytest
 
 from repro.html import (
     Comment,

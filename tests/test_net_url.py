@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net import Url, UrlError, parse_url, resolve_url
+from repro.net import UrlError, parse_url, resolve_url
 
 
 class TestParsing:

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.html import (
     Comment,
-    Document,
     Element,
     Text,
     decode_entities,
