@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard for the CI smoke job.
+
+Compares the freshly measured ``harness_throughput`` rendering against
+the committed baseline in ``benchmarks/results/`` and fails (exit 1)
+when throughput dropped by more than the threshold.  Both files carry a
+line like::
+
+    Full-stack surf: 14 pages + 10 mutations in 2.51 s wall (9.6 operations/s); ...
+
+Usage::
+
+    python check_regression.py BASELINE CURRENT [--threshold 0.25]
+
+Faster-than-baseline results always pass (and print a hint to refresh
+the committed baseline when the gain is large).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+THROUGHPUT_PATTERN = re.compile(r"\(([0-9]+(?:\.[0-9]+)?) operations/s\)")
+
+
+class GuardError(Exception):
+    """The rendering carries no parsable throughput figure."""
+
+
+def parse_throughput(text: str) -> float:
+    """Extract the operations/s figure from a throughput rendering."""
+    match = THROUGHPUT_PATTERN.search(text)
+    if match is None:
+        raise GuardError("no '(N operations/s)' figure found")
+    return float(match.group(1))
+
+
+def check(baseline_ops: float, current_ops: float, threshold: float) -> str:
+    """Return a verdict line; raise GuardError on a regression."""
+    if baseline_ops <= 0:
+        raise GuardError("baseline throughput must be positive")
+    change = (current_ops - baseline_ops) / baseline_ops
+    if change < -threshold:
+        raise GuardError(
+            "throughput regressed %.1f%% (%.1f -> %.1f operations/s, "
+            "threshold %.0f%%)"
+            % (-change * 100, baseline_ops, current_ops, threshold * 100)
+        )
+    verdict = "throughput %.1f -> %.1f operations/s (%+.1f%%): OK" % (
+        baseline_ops,
+        current_ops,
+        change * 100,
+    )
+    if change > threshold:
+        verdict += "\nnote: large gain — consider refreshing the committed baseline"
+    return verdict
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed harness_throughput rendering")
+    parser.add_argument("current", help="freshly measured rendering")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional slowdown (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.baseline) as handle:
+            baseline_ops = parse_throughput(handle.read())
+        with open(args.current) as handle:
+            current_ops = parse_throughput(handle.read())
+        print(check(baseline_ops, current_ops, args.threshold))
+    except (OSError, GuardError) as exc:
+        print("benchmark regression guard: %s" % exc, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

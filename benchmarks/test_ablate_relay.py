@@ -1,0 +1,129 @@
+"""Ablation: cascaded relay fan-out vs the paper's flat topology.
+
+The flat session (every participant polls the host) puts O(N) content
+responses and uplink bytes on the host — the wall the fan-out ablation
+(`test_ablate_fanout.py`) measures.  The relay tree caps the host's
+share at O(branching): the host serves its direct children, and each
+tier re-serves the envelope downward.  This benchmark measures both
+topologies at N=64 and then kills a tier-1 relay to show every orphan
+resumes receiving updates.
+"""
+
+from repro.core import CoBrowsingSession
+from repro.workloads import build_lan
+
+from conftest import write_result
+
+N = 64
+BRANCHING = 4
+SITE = "msn.com"  # a mid-size page
+
+
+def measure(participants, branching=None):
+    testbed = build_lan(participants=participants)
+    session = CoBrowsingSession(testbed.host_browser, poll_interval=1.0)
+    if branching is not None:
+        session.fanout_tree(branching=branching)
+    sim = testbed.sim
+    outcome = {}
+
+    def scenario():
+        members = []
+        for browser in testbed.participant_browsers:
+            member = yield from session.join(browser)
+            members.append(member)
+        bytes_before = testbed.host_browser.host.link.up.bytes_carried
+        yield from session.host_navigate("http://%s/" % SITE)
+        started = sim.now
+        yield from session.wait_until_synced(timeout=180)
+        outcome["all_synced"] = sim.now - started
+        outcome["host_upload_bytes"] = (
+            testbed.host_browser.host.link.up.bytes_carried - bytes_before
+        )
+        outcome["host_content_responses"] = session.agent.stats["content_responses"]
+        outcome["host_object_requests"] = session.agent.stats["object_requests"]
+        outcome["direct_children"] = len(session.agent.participants)
+        if branching is not None:
+            outcome["summary"] = session.relay_summary()
+            yield from _relay_death(session, sim, members, outcome)
+
+    testbed.run(scenario())
+    session.close()
+    return outcome
+
+
+def _relay_death(session, sim, members, outcome):
+    """Kill one tier-1 relay; every orphan must resume updates."""
+    victim = sorted(session.agent.participants)[0]
+    orphan_ids = list(session._nodes[victim].children)
+    session.fail_relay(victim)
+    yield sim.timeout(30)  # orphans detect the death and re-attach
+    session.host_browser.mutate_document(
+        lambda document: document.document_element.set_attribute("data-poke", "1")
+    )
+    yield from session.wait_until_synced(timeout=120)
+    orphans = [m for m in members if m.relay_id in orphan_ids]
+    outcome["orphans"] = len(orphans)
+    outcome["orphans_recovered"] = sum(
+        1 for m in orphans if m.doc_time >= session.agent.doc_time
+    )
+    outcome["reattachments"] = sum(m.stats["reattachments"] for m in orphans)
+
+
+def test_relay_tree_caps_host_load(benchmark, results_dir):
+    def sweep():
+        return {
+            "flat": measure(N),
+            "tree": measure(N, branching=BRANCHING),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    flat, tree = results["flat"], results["tree"]
+    summary = tree["summary"]
+
+    lines = [
+        "Ablation: flat vs cascaded relay fan-out (%s, LAN, N=%d, k=%d)"
+        % (SITE, N, BRANCHING),
+        "%-10s %16s %14s %18s %12s"
+        % ("topology", "host content", "host upload", "host obj requests", "all synced"),
+        "%-10s %16d %14d %18d %11.2fs"
+        % (
+            "flat",
+            flat["host_content_responses"],
+            flat["host_upload_bytes"],
+            flat["host_object_requests"],
+            flat["all_synced"],
+        ),
+        "%-10s %16d %14d %18d %11.2fs"
+        % (
+            "tree",
+            tree["host_content_responses"],
+            tree["host_upload_bytes"],
+            tree["host_object_requests"],
+            tree["all_synced"],
+        ),
+        "tree depth %d; relays absorbed %d envelope bytes and %d object requests"
+        % (
+            summary["depth"],
+            summary["relay_content_bytes"],
+            summary["relay_object_requests"],
+        ),
+        "relay death: %d orphans, %d recovered, %d re-attachments"
+        % (tree["orphans"], tree["orphans_recovered"], tree["reattachments"]),
+    ]
+    write_result(results_dir, "ablation_relay.txt", "\n".join(lines))
+
+    # O(N) -> O(branching): the host serves exactly its direct children.
+    assert flat["host_content_responses"] == N
+    assert tree["direct_children"] == BRANCHING
+    assert tree["host_content_responses"] == BRANCHING
+    # Host uplink bytes drop by ~N/k; demand at least an 8x reduction.
+    assert tree["host_upload_bytes"] * 8 < flat["host_upload_bytes"]
+    # Per-participant staleness stays bounded: every tier adds at most a
+    # poll interval plus transfer, and the tree is depth ~log_k(N).
+    assert summary["depth"] <= 4
+    assert tree["all_synced"] <= (summary["depth"] + 1) * 2.0
+    # Relay death: every orphan re-attached and resumed updates.
+    assert tree["orphans"] > 0
+    assert tree["orphans_recovered"] == tree["orphans"]
+    assert tree["reattachments"] >= tree["orphans"]

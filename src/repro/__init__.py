@@ -23,11 +23,13 @@ See ``examples/quickstart.py`` for a minimal co-browsing session.
 from .browser import Browser
 from .core import (
     AjaxSnippet,
+    BackoffPolicy,
     CoBrowsingSession,
     ConfirmPolicy,
     ObserveOnlyPolicy,
     OpenPolicy,
     RCBAgent,
+    RelayAgent,
     generate_session_secret,
 )
 from .net import LAN_PROFILE, WAN_HOME_PROFILE, Host, NatGateway, Network
@@ -38,6 +40,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AjaxSnippet",
+    "BackoffPolicy",
     "Browser",
     "CoBrowsingSession",
     "ConfirmPolicy",
@@ -48,6 +51,7 @@ __all__ = [
     "ObserveOnlyPolicy",
     "OpenPolicy",
     "RCBAgent",
+    "RelayAgent",
     "Simulator",
     "WAN_HOME_PROFILE",
     "build_lan",

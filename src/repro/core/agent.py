@@ -52,7 +52,7 @@ from .cachepolicy import coerce_cache_policy
 from .content import AGENT_OBJECT_PATH, ContentGenerator
 from .delta import content_tree, diff_trees
 from .policy import ModerationPolicy, OpenPolicy, PendingAction
-from .security import AuthError, verify_request_target
+from .security import Authenticator
 from .xmlformat import NewContent, build_envelope, js_escape
 
 __all__ = ["RCBAgent", "ParticipantState", "AGENT_DEFAULT_PORT", "TOPIC_ROSTER_CHANGED"]
@@ -110,6 +110,7 @@ class RCBAgent(BrowserExtension):
         #: Session secret for HMAC request authentication; None disables
         #: authentication (trusted-LAN configuration).
         self.secret = secret
+        self._auth = Authenticator(secret)
         #: Poll interval advertised to participants on the initial page.
         self.poll_interval = poll_interval
         #: Ablation: hold polls open until content changes ("hanging
@@ -166,6 +167,7 @@ class RCBAgent(BrowserExtension):
 
         self._listener: Optional[ListenSocket] = None
         self._accept_proc = None
+        self._active_connections: set = set()
 
         # Statistics surfaced to benchmarks.
         self.stats = {
@@ -207,9 +209,18 @@ class RCBAgent(BrowserExtension):
         browser.observers.remove_observer(TOPIC_DOCUMENT_LOADED, self._on_document_event)
         browser.observers.remove_observer(TOPIC_DOCUMENT_CHANGED, self._on_document_event)
         browser.observers.remove_observer(TOPIC_OBJECT_DOWNLOADED, self._on_object_downloaded)
+        self._close_port()
+
+    def _close_port(self) -> None:
+        """Close the listener and drop established connections — a
+        stopped agent (or a dead relay) serves nothing, so participants'
+        keep-alive polls must fail rather than linger."""
         if self._listener is not None:
             self._listener.close()
             self._listener = None
+        for connection in list(self._active_connections):
+            connection.close()
+        self._active_connections.clear()
 
     @property
     def url(self) -> str:
@@ -227,7 +238,19 @@ class RCBAgent(BrowserExtension):
     def _bump_doc_time(self) -> None:
         # Milliseconds, strictly increasing even within one millisecond.
         now_ms = int(self.browser.sim.now * 1000)
-        self._doc_time = max(now_ms, self._doc_time + 1)
+        self._set_doc_time(max(now_ms, self._doc_time + 1))
+
+    def _set_doc_time(self, value: int) -> None:
+        """Advance the document timestamp and wake long-poll waiters.
+
+        The root agent stamps the simulation clock (via
+        :meth:`_bump_doc_time`); a relay instead adopts its upstream's
+        timestamps here, which is what keeps ``doc_time`` consistent
+        across tiers.  The timestamp never moves backwards.
+        """
+        if value <= self._doc_time:
+            return
+        self._doc_time = value
         waiters, self._change_waiters = self._change_waiters, []
         for waiter in waiters:
             if not waiter.triggered:
@@ -264,11 +287,13 @@ class RCBAgent(BrowserExtension):
             self.browser.sim.process(self._serve(connection))
 
     def _serve(self, connection):
+        self._active_connections.add(connection)
         try:
             yield from serve_connection(
                 self.browser.sim, connection, self._dispatch, server_name="rcb-agent"
             )
         finally:
+            self._active_connections.discard(connection)
             connection.close()
 
     def _dispatch(self, request: HttpRequest, client_name: str):
@@ -471,11 +496,9 @@ class RCBAgent(BrowserExtension):
             return cached
         page = self.browser.page
         sign_target = None
-        if self.secret is not None:
-            from .security import sign_request_target
-
-            secret = self.secret
-            sign_target = lambda target: sign_request_target(secret, "GET", target)
+        if self._auth.enabled:
+            auth = self._auth
+            sign_target = lambda target: auth.sign("GET", target)
         policy = self.cache_policy
         page_url = str(page.url)
 
@@ -682,11 +705,7 @@ class RCBAgent(BrowserExtension):
     # -- authentication ---------------------------------------------------------------------------
 
     def _authenticate(self, request: HttpRequest) -> bool:
-        if self.secret is None:
-            return True
-        try:
-            verify_request_target(self.secret, request.method, request.target, request.body)
-        except AuthError:
+        if not self._auth.verify(request.method, request.target, request.body):
             self.stats["auth_failures"] += 1
             return False
         return True

@@ -17,6 +17,7 @@ import random
 from typing import Optional, Tuple
 
 __all__ = [
+    "Authenticator",
     "generate_session_secret",
     "sign_request_target",
     "verify_request_target",
@@ -92,3 +93,45 @@ def verify_request_target(secret: str, method: str, target: str, body: bytes = b
     if not _hmac.compare_digest(expected, signature):
         raise AuthError("HMAC mismatch for %s %s" % (method, unsigned))
     return unsigned
+
+
+class Authenticator:
+    """One endpoint's view of the session secret.
+
+    Bundles the ``secret is None`` (trusted-LAN) and HMAC-signing
+    configurations behind one object so every protocol role — agent,
+    snippet, and relay, which both *signs* upstream requests and
+    *verifies* downstream ones — shares the same code path.
+    """
+
+    __slots__ = ("secret",)
+
+    def __init__(self, secret: Optional[str]):
+        self.secret = secret
+
+    @property
+    def enabled(self) -> bool:
+        """Whether requests are authenticated at all."""
+        return self.secret is not None
+
+    def sign(self, method: str, target: str, body: bytes = b"") -> str:
+        """Sign an outgoing request target (no-op when auth is off)."""
+        if self.secret is None:
+            return target
+        return sign_request_target(self.secret, method, target, body)
+
+    def verify(self, method: str, target: str, body: bytes = b"") -> bool:
+        """Whether an incoming request's signature checks out.
+
+        Always True when authentication is disabled.
+        """
+        if self.secret is None:
+            return True
+        try:
+            verify_request_target(self.secret, method, target, body)
+        except AuthError:
+            return False
+        return True
+
+    def __repr__(self):
+        return "Authenticator(%s)" % ("hmac" if self.enabled else "open")

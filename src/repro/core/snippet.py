@@ -27,6 +27,7 @@ the paper describes for Internet Explorer's read-only head.
 from __future__ import annotations
 
 import json
+import random
 import time
 from typing import Callable, List, Optional
 
@@ -46,12 +47,74 @@ from .actions import (
 )
 from .content import REF_ATTRIBUTE
 from .delta import DeltaError, apply_delta
-from .security import sign_request_target
+from .security import Authenticator
 from .xmlformat import EnvelopeError, NewContent, parse_envelope
 
-__all__ = ["AjaxSnippet", "SnippetStats"]
+__all__ = ["AjaxSnippet", "BackoffPolicy", "SnippetStats"]
 
 _SNIPPET_SCRIPT_ID = "ajax-snippet"
+
+
+class BackoffPolicy:
+    """Retry pacing for a failed poll (and for relay re-attachment).
+
+    ``delay(attempt)`` returns how long to wait before retry number
+    ``attempt`` (1-based): ``base * multiplier**(attempt-1)``, capped at
+    ``cap``, then spread by ``±jitter`` (a fraction) so that a tier of
+    orphaned children re-attaching after a relay death does not stampede
+    its grandparent in lockstep.  Jitter draws from a private seeded RNG,
+    keeping simulations deterministic.
+    """
+
+    def __init__(
+        self,
+        base: float = 1.0,
+        cap: float = 30.0,
+        jitter: float = 0.0,
+        multiplier: float = 1.0,
+        seed: Optional[int] = None,
+    ):
+        if base <= 0:
+            raise ValueError("backoff base must be positive")
+        if cap < base:
+            raise ValueError("backoff cap must be >= base")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1)")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self.multiplier = multiplier
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        raw = self.base * (self.multiplier ** max(0, attempt - 1))
+        raw = min(raw, self.cap)
+        if self.jitter:
+            raw *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return raw
+
+    def derive(self, seed_text: str) -> "BackoffPolicy":
+        """A same-shaped policy with its own RNG stream, so every
+        participant jitters independently but reproducibly."""
+        seed = sum(ord(c) * (index + 1) for index, c in enumerate(seed_text))
+        return BackoffPolicy(
+            base=self.base,
+            cap=self.cap,
+            jitter=self.jitter,
+            multiplier=self.multiplier,
+            seed=seed,
+        )
+
+    def __repr__(self):
+        return "BackoffPolicy(base=%g, cap=%g, x%g, jitter=%g)" % (
+            self.base,
+            self.cap,
+            self.multiplier,
+            self.jitter,
+        )
 
 
 class SnippetStats:
@@ -91,6 +154,7 @@ class AjaxSnippet:
         poll_interval: Optional[float] = None,
         browser_type: str = "firefox",
         fetch_objects: bool = True,
+        backoff: Optional[BackoffPolicy] = None,
     ):
         if browser_type not in ("firefox", "ie"):
             raise ValueError("browser_type must be 'firefox' or 'ie'")
@@ -101,9 +165,13 @@ class AjaxSnippet:
             raise ValueError("agent URL must be absolute")
         self.participant_id = participant_id or browser.name
         self.secret = secret
+        self._auth = Authenticator(secret)
         self.poll_interval = poll_interval  # None: use the advertised one
         self.browser_type = browser_type
         self.fetch_objects = fetch_objects
+        #: Retry pacing after a failed poll.  None: a constant delay of
+        #: one poll interval, the original hardcoded behaviour.
+        self.backoff = backoff
 
         self.last_doc_time = 0
         self.stats = SnippetStats()
@@ -115,6 +183,13 @@ class AjaxSnippet:
         self._connected = False
         #: Called with each batch of host-mirrored actions (UI hook).
         self.on_actions: Optional[Callable[[List[UserAction]], None]] = None
+        #: Called with the NewContent after every applied content update
+        #: (full or delta) — how a relay learns the upstream doc_time.
+        self.on_content: Optional[Callable[[NewContent], None]] = None
+        #: Called once when the poll loop gives up after repeated
+        #: failures (not on a deliberate disconnect) — how a relay
+        #: learns its upstream died and re-attachment should begin.
+        self.on_disconnect: Optional[Callable[[], None]] = None
 
     # -- connection ------------------------------------------------------------------
 
@@ -132,10 +207,39 @@ class AjaxSnippet:
         if self.poll_interval is None:
             advertised = script.get_attribute("data-poll-interval")
             self.poll_interval = float(advertised) if advertised else 1.0
+        if self.backoff is None:
+            # The pre-configurable behaviour: retry after one poll
+            # interval, no growth, no jitter.
+            self.backoff = BackoffPolicy(base=self.poll_interval, cap=self.poll_interval)
         self._register_handlers()
         self._connected = True
         self._poll_proc = self.sim.process(self._poll_loop())
         return page
+
+    def attach(self, poll_interval: Optional[float] = None):
+        """Join without navigating: start polling against the current page.
+
+        Used by a relay re-attaching to a new upstream after its parent
+        died — the browser's current (already synchronized) document is
+        preserved, so the new upstream can answer with a delta against
+        the relay's last acknowledged state instead of a full resync.
+
+        Generator process: probes the upstream with one poll (raising
+        :class:`~repro.http.RequestFailed` if it is unreachable), then
+        arms the polling loop.
+        """
+        if self._connected:
+            raise RuntimeError("snippet is already connected")
+        if self.browser.page is None:
+            raise RuntimeError("attach() requires a loaded page; use connect()")
+        if self.poll_interval is None:
+            self.poll_interval = poll_interval if poll_interval is not None else 1.0
+        if self.backoff is None:
+            self.backoff = BackoffPolicy(base=self.poll_interval, cap=self.poll_interval)
+        yield from self.poll_once()
+        self._register_handlers()
+        self._connected = True
+        self._poll_proc = self.sim.process(self._poll_loop())
 
     def disconnect(self) -> None:
         """Stop polling and leave the session."""
@@ -161,13 +265,16 @@ class AjaxSnippet:
                     # The host is unreachable (agent stopped, network
                     # partition, host machine gone).  Back off and retry;
                     # give up after a few consecutive failures — the user
-                    # would re-type the URL to rejoin.
+                    # would re-type the URL to rejoin (or, for a relay,
+                    # re-attachment to an ancestor begins).
                     self.stats.connection_errors += 1
                     self._consecutive_failures += 1
                     if self._consecutive_failures > self.max_poll_failures:
                         self._connected = False
+                        if self.on_disconnect is not None:
+                            self.on_disconnect()
                         return
-                    yield self.sim.timeout(self.poll_interval)
+                    yield self.sim.timeout(self.backoff.delay(self._consecutive_failures))
                     continue
                 self._consecutive_failures = 0
                 yield self.sim.timeout(self.poll_interval)
@@ -186,9 +293,7 @@ class AjaxSnippet:
         self.stats.actions_sent += len(self._outgoing)
         self._outgoing = []
 
-        target = "/poll"
-        if self.secret is not None:
-            target = sign_request_target(self.secret, "POST", target, body)
+        target = self._auth.sign("POST", "/poll", body)
         url = self.agent_url.replace(path=target.split("?")[0],
                                      query=target.split("?", 1)[1] if "?" in target else None)
         started = self.sim.now
@@ -236,6 +341,8 @@ class AjaxSnippet:
             # supplementary objects are still in flight.
             self.last_doc_time = content.doc_time
             self.stats.content_updates += 1
+            if self.on_content is not None:
+                self.on_content(content)
         else:
             self.stats.action_only_updates += 1
             yield self.sim.timeout(0)
@@ -275,6 +382,8 @@ class AjaxSnippet:
         self.last_doc_time = content.doc_time
         self.stats.content_updates += 1
         self.stats.delta_updates += 1
+        if self.on_content is not None:
+            self.on_content(content)
         return True
 
     def _apply_delta_ops(self, content: NewContent) -> None:

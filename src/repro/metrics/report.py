@@ -15,6 +15,7 @@ __all__ = [
     "render_delta_summary",
     "render_figure_m1_m2",
     "render_figure_m3_m4",
+    "render_relay_summary",
     "render_table1",
     "render_shape_checks",
     "bar",
@@ -137,4 +138,57 @@ def render_delta_summary(agent_stats: Dict[str, int], title: str = "Delta envelo
             "  average delta response is %.1fx smaller than the full envelope"
             % ((delta_bytes + saved) / max(1, delta_bytes))
         )
+    return "\n".join(lines)
+
+
+def render_relay_summary(summary: Dict[str, object], title: str = "Relay fan-out") -> str:
+    """Fan-out tree accounting from
+    :meth:`~repro.core.session.CoBrowsingSession.relay_summary`: what the
+    host's uplink carried versus what the relay tiers absorbed, and the
+    per-tier poll load and content-sync latency."""
+    host_bytes = summary.get("host_content_bytes", 0)
+    relay_bytes = summary.get("relay_content_bytes", 0)
+    total_bytes = host_bytes + relay_bytes
+    lines = [
+        "%s: %d members in a branching-%s tree, depth %d"
+        % (
+            title,
+            summary.get("members", 0),
+            summary.get("branching"),
+            summary.get("depth", 0),
+        ),
+        "  host served %d polls, %d envelope bytes, %d object requests"
+        % (
+            summary.get("host_polls", 0),
+            host_bytes,
+            summary.get("host_object_requests", 0),
+        ),
+        "  relays absorbed %d envelope bytes (host uplink saved %.0f%%) "
+        "and %d object requests"
+        % (
+            relay_bytes,
+            100.0 * relay_bytes / total_bytes if total_bytes else 0.0,
+            summary.get("relay_object_requests", 0),
+        ),
+        "  re-attachments after relay failures: %d"
+        % summary.get("reattachments", 0),
+    ]
+    tiers = summary.get("tiers") or {}
+    if tiers:
+        lines.append(
+            "  %-6s %6s %8s %14s %16s"
+            % ("tier", "nodes", "polls", "content bytes", "mean sync (s)")
+        )
+        for depth in sorted(tiers):
+            tier = tiers[depth]
+            lines.append(
+                "  %-6d %6d %8d %14d %16.3f"
+                % (
+                    depth,
+                    tier.get("nodes", 0),
+                    tier.get("polls", 0),
+                    tier.get("content_bytes", 0),
+                    tier.get("mean_sync_seconds", 0.0),
+                )
+            )
     return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""The CI benchmark regression guard: parser and verdict logic.
+
+``benchmarks/check_regression.py`` is a standalone script (no package),
+so it is loaded here by path.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+guard = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(guard)
+
+BASELINE_LINE = (
+    "Full-stack surf: 14 pages + 10 mutations in 2.51 s wall "
+    "(9.6 operations/s); 63.3 simulated seconds"
+)
+
+
+class TestParser:
+    def test_parses_the_committed_rendering_format(self):
+        assert guard.parse_throughput(BASELINE_LINE) == 9.6
+
+    def test_parses_integer_and_multiline_renderings(self):
+        assert guard.parse_throughput("header\nblah (12 operations/s) tail\n") == 12.0
+
+    def test_rejects_renderings_without_a_figure(self):
+        with pytest.raises(guard.GuardError):
+            guard.parse_throughput("Full-stack surf: no figure here")
+
+    def test_parses_the_actual_committed_baseline(self):
+        baseline = os.path.join(
+            os.path.dirname(_SCRIPT), "results", "harness_throughput.txt"
+        )
+        with open(baseline) as handle:
+            assert guard.parse_throughput(handle.read()) > 0
+
+
+class TestVerdict:
+    def test_small_slowdown_within_threshold_passes(self):
+        verdict = guard.check(10.0, 8.0, threshold=0.25)
+        assert "OK" in verdict
+
+    def test_large_slowdown_fails(self):
+        with pytest.raises(guard.GuardError, match="regressed"):
+            guard.check(10.0, 7.0, threshold=0.25)
+
+    def test_speedup_passes_and_hints_at_baseline_refresh(self):
+        verdict = guard.check(10.0, 20.0, threshold=0.25)
+        assert "OK" in verdict
+        assert "refreshing" in verdict
+
+    def test_zero_baseline_is_an_error(self):
+        with pytest.raises(guard.GuardError):
+            guard.check(0.0, 5.0, threshold=0.25)
+
+
+class TestMain:
+    def test_end_to_end_pass_and_fail(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        current = tmp_path / "current.txt"
+        baseline.write_text(BASELINE_LINE + "\n")
+        current.write_text(BASELINE_LINE.replace("9.6", "9.1") + "\n")
+        assert guard.main([str(baseline), str(current)]) == 0
+
+        current.write_text(BASELINE_LINE.replace("9.6", "3.0") + "\n")
+        assert guard.main([str(baseline), str(current)]) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_missing_file_is_a_clean_failure(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(BASELINE_LINE + "\n")
+        assert guard.main([str(baseline), str(tmp_path / "absent.txt")]) == 1
+        assert "guard" in capsys.readouterr().err

@@ -1,0 +1,476 @@
+"""Cascaded relay fan-out: topology, propagation, failure, and auth.
+
+Covers the RelayAgent tentpole end to end: breadth-first tree building,
+doc_time propagation through tiers, delta envelopes recomputed per tier,
+action forwarding up (and cosmetic mirroring across subtrees), orphan
+re-attachment after mid-session relay death — grandparent first, root as
+last resort, timestamps monotone throughout — and HMAC rejection of a
+forged relay.  BackoffPolicy (the configurable retry pacing shared by
+poll retry and re-attachment) is unit-tested here too.
+"""
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import (
+    BackoffPolicy,
+    CoBrowsingSession,
+    MouseMoveAction,
+    REF_ATTRIBUTE,
+    RelayAgent,
+    FormFillAction,
+)
+from repro.html import Text
+from repro.net import LAN_PROFILE, Host, Network
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+PAGE = (
+    "<html><head><title>Relay test</title></head>"
+    "<body><h1 id='headline'>News</h1>"
+    "<img src='/logo.png'>"
+    "<form id='search'><input name='q' value=''></form>"
+    + "".join("<p id='p%d'>paragraph %d body</p>" % (i, i) for i in range(12))
+    + "</body></html>"
+)
+
+
+def build_world(participants=2, secret=None, **session_kwargs):
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page("/", PAGE)
+    site.add("/logo.png", "image/png", b"\x89PNG" + b"l" * 2000)
+    OriginServer(network, "site.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    host_browser = Browser(host_pc, name="bob")
+    session_kwargs.setdefault("poll_interval", 0.2)
+    session = CoBrowsingSession(host_browser, secret=secret, **session_kwargs)
+    browsers = []
+    for index in range(participants):
+        pc = Host(network, "part-pc-%d" % index, LAN_PROFILE, segment="campus")
+        browsers.append(Browser(pc, name="p%d" % index))
+    return sim, session, browsers
+
+
+def run(sim, generator, limit=1e9):
+    return sim.run_until_complete(sim.process(generator), limit=limit)
+
+
+def join_all(session, browsers):
+    relays = []
+    for browser in browsers:
+        relay = yield from session.join(browser)
+        relays.append(relay)
+    return relays
+
+
+def edit_paragraph(browser, index, text):
+    def mutate(document):
+        target = document.get_element_by_id("p%d" % index)
+        target.remove_all_children()
+        target.append_child(Text(text))
+
+    browser.mutate_document(mutate)
+
+
+class TestBackoffPolicy:
+    def test_constant_policy_is_flat(self):
+        policy = BackoffPolicy(base=0.2, cap=0.2)
+        assert [policy.delay(n) for n in (1, 2, 5)] == [0.2, 0.2, 0.2]
+
+    def test_exponential_growth_hits_cap(self):
+        policy = BackoffPolicy(base=0.5, cap=4.0, multiplier=2.0)
+        assert policy.delay(1) == 0.5
+        assert policy.delay(2) == 1.0
+        assert policy.delay(3) == 2.0
+        assert policy.delay(4) == 4.0
+        assert policy.delay(10) == 4.0  # capped
+
+    def test_jitter_stays_within_fraction(self):
+        policy = BackoffPolicy(base=1.0, cap=1.0, jitter=0.25, seed=7)
+        samples = [policy.delay(1) for _ in range(200)]
+        assert all(0.75 <= s <= 1.25 for s in samples)
+        assert len(set(samples)) > 1  # actually jittering
+
+    def test_derive_is_deterministic_per_id(self):
+        base = BackoffPolicy(base=1.0, cap=8.0, jitter=0.5, multiplier=2.0)
+        first = [base.derive("alice").delay(n) for n in range(1, 6)]
+        again = [base.derive("alice").delay(n) for n in range(1, 6)]
+        other = [base.derive("carol").delay(n) for n in range(1, 6)]
+        assert first == again
+        assert first != other
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=2.0, cap=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+
+    def test_session_hands_each_member_its_own_stream(self):
+        sim, session, (alice,) = build_world(
+            participants=1, backoff=BackoffPolicy(base=0.3, cap=2.4, jitter=0.1)
+        )
+
+        def scenario():
+            snippet = yield from session.join(alice)
+            return snippet
+
+        snippet = run(sim, scenario())
+        assert snippet.backoff is not None
+        assert snippet.backoff.base == 0.3
+        assert snippet.backoff.cap == 2.4
+        assert snippet.backoff.jitter == 0.1
+        session.close()
+
+
+class TestFanoutTopology:
+    def test_tree_fills_breadth_first(self):
+        sim, session, browsers = build_world(participants=6)
+        session.fanout_tree(branching=2)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            return relays
+
+        relays = run(sim, scenario())
+        # The host serves exactly branching direct children...
+        assert sorted(session.agent.participants) == ["p0", "p1"]
+        # ...and the next tier hangs under them, filled left to right.
+        assert session._nodes["p0"].depth == 1
+        assert session._nodes["p2"].parent == "p0"
+        assert session._nodes["p3"].parent == "p1"
+        assert session._nodes["p4"].parent == "p0"
+        assert session._nodes["p5"].parent == "p1"
+        assert session.tree_depth() == 2
+        assert all(len(n.children) <= 2 for n in session._nodes.values())
+        # Every member converged to the host's exact timestamp.
+        assert all(r.doc_time == session.agent.doc_time for r in relays)
+        session.close()
+
+    def test_chain_propagates_content_and_doc_time(self):
+        sim, session, browsers = build_world(participants=3)
+        session.fanout_tree(branching=1)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            return relays
+
+        relays = run(sim, scenario())
+        # Degenerate chain by construction: root -> p0 -> p1 -> p2.
+        assert session._nodes["p1"].parent == "p0"
+        assert session._nodes["p2"].parent == "p1"
+        leaf = relays[-1]
+        assert leaf.browser.page.document.title == "Relay test"
+        # Timestamps are adopted, not restamped: identical at every tier.
+        times = {r.doc_time for r in relays}
+        assert times == {session.agent.doc_time}
+        session.close()
+
+    def test_objects_are_served_by_the_relay_tier(self):
+        sim, session, browsers = build_world(participants=2)
+        session.fanout_tree(branching=1)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            return relays
+
+        relays = run(sim, scenario())
+        # The host answered object requests only for its direct child;
+        # the leaf's logo came from the relay's cache.
+        assert session.agent.stats["object_requests"] == 1
+        assert relays[0].stats["object_requests"] == 1
+        session.close()
+
+    def test_small_edit_travels_as_delta_at_every_tier(self):
+        sim, session, browsers = build_world(participants=2)
+        session.fanout_tree(branching=1)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            edit_paragraph(session.host_browser, 3, "breaking news")
+            yield from session.wait_until_synced()
+            return relays
+
+        relays = run(sim, scenario())
+        mid, leaf = relays
+        # Root -> relay link used a delta...
+        assert session.agent.stats["delta_responses"] >= 1
+        assert mid.upstream.stats.delta_updates >= 1
+        # ...and the relay recomputed a delta for its own child.
+        assert mid.stats["delta_responses"] >= 1
+        assert leaf.upstream.stats.delta_updates >= 1
+        assert leaf.upstream.stats.delta_failures == 0
+        assert "breaking news" in leaf.browser.page.document.get_element_by_id(
+            "p3"
+        ).text_content
+        session.close()
+
+    def test_summary_accounts_host_savings(self):
+        sim, session, browsers = build_world(participants=6)
+        session.fanout_tree(branching=2)
+
+        def scenario():
+            yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        summary = session.relay_summary()
+        assert summary["members"] == 6
+        assert summary["depth"] == 2
+        assert summary["branching"] == 2
+        # Host carried 2 of the 6 full envelopes; the tier-1 relays
+        # absorbed the other 4.
+        assert summary["relay_content_bytes"] > summary["host_content_bytes"]
+        assert set(summary["tiers"]) == {1, 2}
+        assert summary["tiers"][1]["nodes"] == 2
+        assert summary["tiers"][2]["nodes"] == 4
+        assert summary["tiers"][1]["content_bytes"] > 0
+        session.close()
+
+
+class TestActionFlow:
+    def test_cosmetic_actions_mirror_across_subtrees(self):
+        # Tree: root -> {p0 -> {p2, p4}, p1 -> {p3, p5}}.
+        sim, session, browsers = build_world(participants=6)
+        session.fanout_tree(branching=2)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            # p2 (child of p0) moves its mouse.
+            relays[2].upstream.report_mouse_move(11, 22)
+            yield sim.timeout(2.0)
+            return relays
+
+        relays = run(sim, scenario())
+        received = {
+            r.relay_id: [
+                a for a in r.upstream.stats.actions_received
+                if isinstance(a, MouseMoveAction)
+            ]
+            for r in relays
+        }
+        # The sibling p4 gets the pointer from p0 directly; the other
+        # subtree (p1 and its children) gets it via the root's
+        # broadcast.  The originator never gets an echo, and p0 — a
+        # pass-through conduit that mirrored and forwarded — receives
+        # nothing from upstream (the root excludes the sender's subtree).
+        assert received["p2"] == []
+        assert received["p0"] == []
+        assert len(received["p4"]) == 1
+        assert len(received["p1"]) == 1
+        assert len(received["p3"]) == 1
+        assert len(received["p5"]) == 1
+        assert relays[0].stats["actions_forwarded"] == 1
+        session.close()
+
+    def test_leaf_form_fill_reaches_the_host(self):
+        sim, session, browsers = build_world(participants=2)
+        session.fanout_tree(branching=1)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            leaf = relays[-1]
+            form = leaf.browser.page.document.get_element_by_id("search")
+            ref = form.get_attribute(REF_ATTRIBUTE)
+            assert ref
+            leaf.upstream.queue_action(FormFillAction(ref, {"q": "relay trees"}))
+            yield sim.timeout(2.0)
+            yield from session.wait_until_synced()
+            return relays
+
+        relays = run(sim, scenario())
+        host_form = session.host_browser.page.document.get_element_by_id("search")
+        field = [c for c in host_form.children if c.tag == "input"][0]
+        assert field.get_attribute("value") == "relay trees"
+        # The action climbed the chain: forwarded by the leaf's parent.
+        assert relays[0].stats["actions_forwarded"] == 1
+        assert session.agent.stats["actions_applied"] == 1
+        session.close()
+
+
+class TestRelayFailure:
+    def test_orphans_reattach_to_grandparent_root(self):
+        sim, session, browsers = build_world(participants=6)
+        session.fanout_tree(branching=2)
+        doc_times = {}
+        violations = []
+
+        def monitor(relay):
+            while relay.relay_id in session.relays:
+                previous = doc_times.get(relay.relay_id, 0)
+                if relay.doc_time < previous:
+                    violations.append((relay.relay_id, previous, relay.doc_time))
+                doc_times[relay.relay_id] = relay.doc_time
+                yield sim.timeout(0.05)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            for relay in relays:
+                sim.process(monitor(relay))
+            dead = session.fail_relay("p0")
+            assert not dead.connected
+            yield sim.timeout(20.0)  # orphans detect, back off, re-attach
+            edit_paragraph(session.host_browser, 5, "after the failure")
+            yield from session.wait_until_synced(timeout=30.0)
+            return relays
+
+        relays = run(sim, scenario())
+        assert violations == []  # timestamps stayed monotone throughout
+        by_id = {r.relay_id: r for r in relays}
+        # p2 and p4 were p0's children; their grandparent is the root.
+        for orphan in ("p2", "p4"):
+            assert session._nodes[orphan].parent == ""
+            assert by_id[orphan].stats["reattachments"] == 1
+            assert "after the failure" in by_id[
+                orphan
+            ].browser.page.document.get_element_by_id("p5").text_content
+        # The dead relay is gone from the roster everywhere.
+        assert "p0" not in session.relays
+        assert "p0" not in session.agent.participants
+        session.close()
+
+    def test_reattach_prefers_grandparent_relay_over_root(self):
+        sim, session, browsers = build_world(participants=3)
+        session.fanout_tree(branching=1)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            session.fail_relay("p1")  # the middle of root -> p0 -> p1 -> p2
+            yield sim.timeout(20.0)
+            edit_paragraph(session.host_browser, 1, "healed")
+            yield from session.wait_until_synced(timeout=30.0)
+            return relays
+
+        relays = run(sim, scenario())
+        # p2 re-homed under its grandparent p0 — not the root.
+        assert session._nodes["p2"].parent == "p0"
+        assert "p2" not in session.agent.participants
+        assert relays[2].stats["reattachments"] == 1
+        assert "healed" in relays[2].browser.page.document.get_element_by_id(
+            "p1"
+        ).text_content
+        session.close()
+
+    def test_root_is_the_last_resort(self):
+        sim, session, browsers = build_world(participants=3)
+        session.fanout_tree(branching=1)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            # Kill the whole ancestor chain above the leaf at once.
+            session.fail_relay("p1")
+            session.fail_relay("p0")
+            yield sim.timeout(40.0)  # first try (dead grandparent) must fail
+            edit_paragraph(session.host_browser, 2, "root rescue")
+            yield from session.wait_until_synced(timeout=30.0)
+            return relays
+
+        relays = run(sim, scenario())
+        leaf = relays[2]
+        assert session._nodes["p2"].parent == ""
+        assert "p2" in session.agent.participants
+        assert leaf.stats["reattachments"] == 1
+        assert leaf.stats["upstream_failures"] >= 1
+        assert "root rescue" in leaf.browser.page.document.get_element_by_id(
+            "p2"
+        ).text_content
+        session.close()
+
+    def test_reattached_orphan_can_resync_with_delta(self):
+        """An orphan re-attaches without renavigating, so its last
+        acknowledged state survives and the new upstream may answer the
+        first changed poll with a delta instead of a full resync."""
+        sim, session, browsers = build_world(participants=3)
+        session.fanout_tree(branching=1)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            time_before = relays[2].doc_time
+            session.fail_relay("p1")
+            yield sim.timeout(20.0)
+            assert relays[2].doc_time >= time_before
+            edit_paragraph(session.host_browser, 7, "delta after failover")
+            yield from session.wait_until_synced(timeout=30.0)
+            return relays
+
+        relays = run(sim, scenario())
+        leaf = relays[2]
+        assert leaf.upstream.stats.delta_updates >= 1
+        assert "delta after failover" in leaf.browser.page.document.get_element_by_id(
+            "p7"
+        ).text_content
+        session.close()
+
+
+class TestRelayAuth:
+    def test_secret_flows_through_every_tier(self):
+        sim, session, browsers = build_world(participants=2, secret="s3cret-tree")
+        session.fanout_tree(branching=1)
+
+        def scenario():
+            relays = yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            return relays
+
+        relays = run(sim, scenario())
+        assert session.agent.stats["auth_failures"] == 0
+        assert all(r.stats["auth_failures"] == 0 for r in relays)
+        assert relays[-1].doc_time == session.agent.doc_time
+        session.close()
+
+    def test_forged_relay_is_rejected(self):
+        sim, session, browsers = build_world(participants=1, secret="s3cret-tree")
+        session.fanout_tree(branching=2)
+        network = session.host_browser.host.network
+        rogue_pc = Host(network, "rogue-pc", LAN_PROFILE, segment="campus")
+        rogue_browser = Browser(rogue_pc, name="mallory")
+        rogue = RelayAgent(
+            upstream_url=session.agent.url,
+            secret="wrong-guess",
+            relay_id="mallory",
+        )
+        rogue.install(rogue_browser)
+
+        def scenario():
+            yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            yield from rogue.connect_upstream()
+            yield sim.timeout(3.0)
+
+        run(sim, scenario())
+        # The root rejected every forged poll; the rogue never received
+        # content and so can never serve any downstream.
+        assert session.agent.stats["auth_failures"] > 0
+        assert rogue.doc_time == 0
+        assert rogue.upstream.stats.content_updates == 0
+        assert "mallory" not in session.agent.participants
+        rogue.uninstall()
+        session.close()
