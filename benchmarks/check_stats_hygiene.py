@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Stats-hygiene lint for the CI pipeline.
+
+Every component's statistics live in the central metrics registry
+(``repro.obs.registry``) behind :class:`StatsFacade` views.  Disciplined
+mutation goes through the facade's ``inc``/``set``/``observe`` methods
+(or the instruments directly) — never through dict pokes like::
+
+    self.stats["polls"] += 1          # forbidden
+    self.stats["last_sync"] = 0.2     # forbidden
+    self.stats.update({...})          # forbidden
+
+Those bypass the registry's typed instruments: the counter still counts,
+but histograms are never fed, labels drift, and the next exporter change
+silently misses the metric.  This script scans the source tree for such
+mutations and exits 1 when any exist outside the facade implementation
+itself.
+
+Usage::
+
+    python check_stats_hygiene.py [ROOT]
+
+``ROOT`` defaults to ``src/repro`` next to the repository's benchmarks
+directory.  Tests are exempt (they may poke stats to fake states); so is
+``repro/obs`` (the facade implements the mapping protocol it guards).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import List, Tuple
+
+#: ``something.stats[...] +=`` / ``-=`` / ``*=`` / plain ``= value``
+#: (a lone ``==`` comparison must not match).
+MUTATION_PATTERN = re.compile(
+    r"\.stats\s*\[[^\]]+\]\s*(\+=|-=|\*=|/=|//=|=(?!=))"
+)
+#: Bulk dict-style assignment through the facade.
+UPDATE_PATTERN = re.compile(r"\.stats\s*\.\s*update\s*\(")
+
+#: Directories (relative to the scanned root) exempt from the lint.
+EXEMPT_PARTS = ("obs",)
+
+
+class HygieneError(Exception):
+    """The scanned tree contains direct stats-dict mutations."""
+
+
+def scan_source(text: str) -> List[Tuple[int, str]]:
+    """``(line_number, line)`` for every violating line in ``text``."""
+    violations: List[Tuple[int, str]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            continue
+        if MUTATION_PATTERN.search(line) or UPDATE_PATTERN.search(line):
+            violations.append((number, stripped))
+    return violations
+
+
+def scan_tree(root: str) -> List[str]:
+    """Human-readable violation records for every ``.py`` under ``root``."""
+    records: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        relative = os.path.relpath(dirpath, root)
+        parts = [] if relative == "." else relative.split(os.sep)
+        if any(part in EXEMPT_PARTS for part in parts):
+            dirnames[:] = []
+            continue
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path) as handle:
+                text = handle.read()
+            for number, line in scan_source(text):
+                records.append("%s:%d: %s" % (path, number, line))
+    return records
+
+
+def default_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(os.path.dirname(here), "src", "repro")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="source tree to scan (default: src/repro next to benchmarks/)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root if args.root is not None else default_root()
+    if not os.path.isdir(root):
+        print("stats hygiene: no such directory %r" % root, file=sys.stderr)
+        return 1
+    records = scan_tree(root)
+    if records:
+        print(
+            "stats hygiene: %d direct stats mutation(s) bypass the metrics "
+            "registry facade (use stats.inc/set/observe):" % len(records),
+            file=sys.stderr,
+        )
+        for record in records:
+            print("  " + record, file=sys.stderr)
+        return 1
+    print("stats hygiene: clean (%s)" % root)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

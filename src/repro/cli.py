@@ -11,6 +11,11 @@ Commands
     Run a usability scenario end-to-end and print the transcript.
 ``sites``
     List the 20 Table-1 sample sites with sizes and regions.
+``trace``
+    Run a traced relayed session and print the end-to-end span trees;
+    optionally export JSONL / Chrome trace-event files.
+``metrics``
+    Run a small instrumented session and dump the metrics registry.
 """
 
 from __future__ import annotations
@@ -51,6 +56,28 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("which", choices=["maps", "shop"])
 
     subparsers.add_parser("sites", help="list the Table-1 sample sites")
+
+    trace = subparsers.add_parser(
+        "trace", help="trace a relayed co-browsing session end to end"
+    )
+    trace.add_argument(
+        "--participants", type=int, default=6, help="session members (default: 6)"
+    )
+    trace.add_argument(
+        "--branching", type=int, default=2, help="relay fan-out per node (default: 2)"
+    )
+    trace.add_argument(
+        "--jsonl", metavar="PATH", help="write spans as JSON lines to PATH"
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="write a chrome://tracing-loadable trace-event file to PATH",
+    )
+
+    subparsers.add_parser(
+        "metrics", help="run an instrumented session and dump the metrics registry"
+    )
     return parser
 
 
@@ -65,6 +92,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _scenario(args.which)
     if args.command == "sites":
         return _sites()
+    if args.command == "trace":
+        return _trace(args.participants, args.branching, args.jsonl, args.chrome)
+    if args.command == "metrics":
+        return _metrics()
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -147,7 +178,12 @@ def _experiment(target: str, repetitions: int) -> int:
     if "fig8" in wanted:
         print(render_figure_m3_m4(lan_non_cache.rows, lan_cache.rows, "LAN"))
     if "table1" in wanted:
-        print(render_table1(lan_non_cache.rows, lan_cache.rows))
+        distributions = {
+            "M5 non-cache": lan_non_cache.distribution("m5_seconds"),
+            "M5 cache": lan_cache.distribution("m5_seconds"),
+            "M6": lan_non_cache.distribution("m6_seconds"),
+        }
+        print(render_table1(lan_non_cache.rows, lan_cache.rows, distributions))
     if "table2" in wanted:
         _run_table2()
     if "table4" in wanted:
@@ -186,6 +222,82 @@ def _run_table4() -> None:
             ("%-4s" + "%21.1f%%" * 5 + "%8s %8s")
             % ((summary.question,) + summary.percentages + (summary.median, summary.mode))
         )
+
+
+def _build_traced_world(participants: int):
+    """A LAN world with one demo origin and ``participants`` guests."""
+    from .browser import Browser
+    from .net import LAN_PROFILE, Host, Network
+    from .sim import Simulator
+    from .webserver import OriginServer, StaticSite
+
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("traced.example.com")
+    site.add_page(
+        "/",
+        "<html><head><title>Traced RCB session</title></head>"
+        "<body><h1>Observability demo</h1>"
+        "<p>This document's journey is being traced.</p></body></html>",
+    )
+    OriginServer(network, "traced.example.com", site.handle)
+    host = Browser(Host(network, "host-pc", LAN_PROFILE, segment="lan"), name="host")
+    guests = []
+    for index in range(participants):
+        pc = Host(network, "guest-pc-%d" % index, LAN_PROFILE, segment="lan")
+        guests.append(Browser(pc, name="guest-%d" % index))
+    return sim, host, guests
+
+
+def _trace(
+    participants: int,
+    branching: int,
+    jsonl_path: Optional[str],
+    chrome_path: Optional[str],
+) -> int:
+    from .core import CoBrowsingSession
+    from .metrics import render_trace_summary
+    from .obs import Tracer, write_chrome_trace, write_spans_jsonl
+
+    sim, host, guests = _build_traced_world(participants)
+    tracer = Tracer()
+    session = CoBrowsingSession(host, tracer=tracer)
+    session.fanout_tree(branching=branching)
+
+    def scenario():
+        for guest in guests:
+            yield from session.join(guest)
+        yield from session.host_navigate("http://traced.example.com/")
+        yield from session.wait_until_synced()
+
+    sim.run_until_complete(sim.process(scenario()))
+    print(render_trace_summary(tracer))
+    if jsonl_path:
+        count = write_spans_jsonl(tracer, jsonl_path)
+        print("wrote %d spans to %s" % (count, jsonl_path))
+    if chrome_path:
+        count = write_chrome_trace(tracer, chrome_path)
+        print("wrote %d trace events to %s (load in chrome://tracing)" % (count, chrome_path))
+    session.close()
+    return 0
+
+
+def _metrics() -> int:
+    from .core import CoBrowsingSession
+
+    sim, host, guests = _build_traced_world(2)
+    session = CoBrowsingSession(host)
+
+    def scenario():
+        for guest in guests:
+            yield from session.join(guest)
+        yield from session.host_navigate("http://traced.example.com/")
+        yield from session.wait_until_synced()
+
+    sim.run_until_complete(sim.process(scenario()))
+    print(session.metrics.render("Session metrics"))
+    session.close()
+    return 0
 
 
 def _scenario(which: str) -> int:

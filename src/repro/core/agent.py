@@ -34,6 +34,14 @@ from ..browser.observer import (
 from ..http import Headers, HttpRequest, HttpResponse, html_response
 from ..http.server import serve_connection
 from ..net.socket import ListenSocket
+from ..obs import (
+    MetricsRegistry,
+    SpanContext,
+    StatsFacade,
+    Tracer,
+    format_trace_header,
+)
+from ..obs.trace import TRACE_HEADER
 from ..sim import Interrupt, StoreClosed
 from .actions import (
     ActionError,
@@ -85,6 +93,10 @@ class ParticipantState:
 class RCBAgent(BrowserExtension):
     """The RCB-Agent browser extension (install on the host browser)."""
 
+    #: Span-name prefix for this tier's generate/serve/delta spans;
+    #: relays override with "relay" so traces read host → relay → leaf.
+    _span_prefix = "host"
+
     def __init__(
         self,
         port: int = AGENT_DEFAULT_PORT,
@@ -99,6 +111,9 @@ class RCBAgent(BrowserExtension):
         announce_presence: bool = False,
         enable_delta: bool = True,
         delta_history: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        metrics_node: Optional[str] = None,
     ):
         super().__init__()
         self.port = port
@@ -169,26 +184,46 @@ class RCBAgent(BrowserExtension):
         self._accept_proc = None
         self._active_connections: set = set()
 
-        # Statistics surfaced to benchmarks.
-        self.stats = {
-            "polls": 0,
-            "empty_responses": 0,
-            "content_responses": 0,
-            "object_requests": 0,
-            "connections": 0,
-            "auth_failures": 0,
-            "actions_applied": 0,
-            "actions_held": 0,
-            "actions_dropped": 0,
-            "action_errors": 0,
-            "last_generation_seconds": 0.0,
-            "delta_responses": 0,
-            "full_responses": 0,
-            "delta_fallbacks": 0,
-            "delta_bytes_sent": 0,
-            "full_bytes_sent": 0,
-            "delta_bytes_saved": 0,
-        }
+        #: Central metrics registry; shared across a session when the
+        #: orchestrator passes one in, private otherwise.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: End-to-end tracer; None keeps the wire format byte-identical
+        #: to the untraced protocol (no ``X-RCB-Trace`` header).
+        self.tracer = tracer
+        #: Label distinguishing this agent's instruments when several
+        #: agents (host + relays) share one registry.
+        self.metrics_node = metrics_node
+        # Statistics surfaced to benchmarks: a dict-shaped facade whose
+        # entries are registry instruments.
+        self.stats = StatsFacade(
+            self.metrics,
+            prefix="agent_",
+            labels={"node": metrics_node} if metrics_node else {},
+            counters=(
+                "polls",
+                "empty_responses",
+                "content_responses",
+                "object_requests",
+                "connections",
+                "auth_failures",
+                "actions_applied",
+                "actions_held",
+                "actions_dropped",
+                "action_errors",
+                "delta_responses",
+                "full_responses",
+                "delta_fallbacks",
+                "delta_bytes_sent",
+                "full_bytes_sent",
+                "delta_bytes_saved",
+            ),
+            gauges=("last_generation_seconds",),
+            histograms=("generation_seconds",),
+        )
+        #: Trace context per generated document state: serve spans for a
+        #: doc_time parent under the span that produced that content
+        #: (host: its generate span; relay: its upstream apply span).
+        self._content_ctx: "OrderedDict[int, SpanContext]" = OrderedDict()
 
     # -- extension lifecycle -----------------------------------------------------------
 
@@ -272,6 +307,27 @@ class RCBAgent(BrowserExtension):
         """Assigning a bool or policy replaces the cache policy."""
         self.cache_policy = coerce_cache_policy(value)
 
+    # -- tracing ------------------------------------------------------------------------
+
+    def _node_name(self) -> str:
+        """The pipeline-node label this agent's spans carry."""
+        if self.metrics_node:
+            return self.metrics_node
+        return self.browser.name if self.browser is not None else "agent"
+
+    def _remember_content_context(self, doc_time: int, context: SpanContext) -> None:
+        """Record the span that produced ``doc_time``'s content.  First
+        writer wins — that span roots the document state's trace (the
+        host's generate span, or a relay's upstream apply span)."""
+        if doc_time in self._content_ctx:
+            return
+        self._content_ctx[doc_time] = context
+        while len(self._content_ctx) > 64:
+            self._content_ctx.popitem(last=False)
+
+    def _content_context(self) -> Optional[SpanContext]:
+        return self._content_ctx.get(self._doc_time)
+
     # -- server loop --------------------------------------------------------------------
 
     def _accept_loop(self):
@@ -283,7 +339,7 @@ class RCBAgent(BrowserExtension):
                 connection = yield listener.accept()
             except (StoreClosed, Interrupt):
                 return
-            self.stats["connections"] += 1
+            self.stats.inc("connections")
             self.browser.sim.process(self._serve(connection))
 
     def _serve(self, connection):
@@ -343,7 +399,7 @@ class RCBAgent(BrowserExtension):
     def _object_response(self, request: HttpRequest) -> HttpResponse:
         if not self._authenticate(request):
             return HttpResponse(401, body=b"bad or missing hmac")
-        self.stats["object_requests"] += 1
+        self.stats.inc("object_requests")
         target = request.path + ("?" + self._unsigned_query(request) if request.query else "")
         cache_key = self._object_map.get(target)
         if cache_key is None:
@@ -373,7 +429,8 @@ class RCBAgent(BrowserExtension):
     def _poll_response(self, request: HttpRequest, client_name: str):
         if not self._authenticate(request):
             return HttpResponse(401, body=b"bad or missing hmac")
-        self.stats["polls"] += 1
+        self.stats.inc("polls")
+        arrived = self.browser.sim.now
 
         try:
             payload = json.loads(request.body.decode("utf-8") or "{}")
@@ -413,10 +470,12 @@ class RCBAgent(BrowserExtension):
             participant.outbound_actions = []
             xml = self._envelope_with_actions(outbound, participant_id)
             participant.content_responses += 1
-            self.stats["content_responses"] += 1
-            self.stats["full_responses"] += 1
-            self.stats["full_bytes_sent"] += len(xml)
-            return self._xml(xml)
+            self.stats.inc("content_responses")
+            self.stats.inc("full_responses")
+            self.stats.inc("full_bytes_sent", len(xml))
+            return self._xml(
+                xml, self._serve_span(arrived, participant_id, False, len(xml))
+            )
         if self._doc_time > their_time and self.browser.page is not None:
             # Step 3: response sending, with new content — a delta
             # envelope when this participant's acknowledged state is
@@ -425,11 +484,11 @@ class RCBAgent(BrowserExtension):
             generations_before = self._generation_count
             xml, is_delta = self._content_envelope(participant_id, their_time, outbound)
             if is_delta:
-                self.stats["delta_responses"] += 1
-                self.stats["delta_bytes_sent"] += len(xml)
+                self.stats.inc("delta_responses")
+                self.stats.inc("delta_bytes_sent", len(xml))
             else:
-                self.stats["full_responses"] += 1
-                self.stats["full_bytes_sent"] += len(xml)
+                self.stats.inc("full_responses")
+                self.stats.inc("full_bytes_sent", len(xml))
             if (
                 self.generation_cost_per_kb > 0
                 and self._generation_count > generations_before
@@ -439,19 +498,46 @@ class RCBAgent(BrowserExtension):
                     self.generation_cost_per_kb * len(xml) / 1024.0
                 )
             participant.content_responses += 1
-            self.stats["content_responses"] += 1
-            return self._xml(xml)
+            self.stats.inc("content_responses")
+            return self._xml(
+                xml, self._serve_span(arrived, participant_id, is_delta, len(xml))
+            )
         if outbound:
             participant.outbound_actions = []
             xml = self._action_only_envelope(outbound)
             return self._xml(xml)
         # No new content: empty response to avoid hanging requests.
-        self.stats["empty_responses"] += 1
+        self.stats.inc("empty_responses")
         return self._xml("")
 
-    @staticmethod
-    def _xml(body_text: str) -> HttpResponse:
+    def _serve_span(
+        self, arrived: float, participant_id: str, is_delta: bool, size: int
+    ) -> Optional[SpanContext]:
+        """Record the content-serving span for one poll exchange and
+        return its context (carried downstream in ``X-RCB-Trace``).
+        Spans the sim-time from poll arrival to response dispatch,
+        parented under whichever span produced the content being sent."""
+        if self.tracer is None:
+            return None
+        span = self.tracer.start_span(
+            self._span_prefix + ".serve",
+            t=arrived,
+            parent=self._content_context(),
+            node=self._node_name(),
+            participant=participant_id,
+            kind="delta" if is_delta else "full",
+            doc_time=self._doc_time,
+            bytes=size,
+        )
+        span.finish(self.browser.sim.now)
+        return span.context
+
+    def _xml(
+        self, body_text: str, trace_context: Optional[SpanContext] = None
+    ) -> HttpResponse:
         headers = Headers([("Content-Type", "application/xml; charset=utf-8")])
+        if trace_context is not None:
+            headers.set(TRACE_HEADER, format_trace_header(trace_context))
         return HttpResponse(200, headers, body_text.encode("utf-8"))
 
     def _participant(self, participant_id: str) -> ParticipantState:
@@ -530,7 +616,23 @@ class RCBAgent(BrowserExtension):
         self._object_map.update(generated.object_map)
         self._generated_xml[mode_key] = generated.xml_text
         self._generation_count += 1
-        self.stats["last_generation_seconds"] = generated.generation_seconds
+        self.stats.set("last_generation_seconds", generated.generation_seconds)
+        self.stats.observe("generation_seconds", generated.generation_seconds)
+        if self.tracer is not None:
+            now = self.browser.sim.now
+            span = self.tracer.start_span(
+                self._span_prefix + ".generate",
+                t=now,
+                parent=self._content_context(),
+                node=self._node_name(),
+                doc_time=self._doc_time,
+                mode_key=mode_key,
+                bytes=len(generated.xml_text),
+                wall_seconds=generated.generation_seconds,
+                urls_rewritten=generated.urls_rewritten,
+            )
+            span.finish(now)
+            self._remember_content_context(self._doc_time, span.context)
         if self.enable_delta:
             self._store_snapshot(self._doc_time, mode_key, generated.content)
         return generated.xml_text
@@ -569,11 +671,23 @@ class RCBAgent(BrowserExtension):
             old_tree = self._snapshot_tree(their_time, mode_key)
             new_tree = self._snapshot_tree(self._doc_time, mode_key)
             if old_tree is None or new_tree is None:
-                self.stats["delta_fallbacks"] += 1
+                self.stats.inc("delta_fallbacks")
                 return full, False
-            ops = diff_trees(old_tree, new_tree)
+            ops = diff_trees(old_tree, new_tree, metrics=self.metrics, node=self._node_name())
             ops_json = json.dumps(ops, separators=(",", ":"))
             self._delta_memo[(their_time, mode_key)] = ops_json
+            if self.tracer is not None:
+                now = self.browser.sim.now
+                self.tracer.start_span(
+                    self._span_prefix + ".delta_diff",
+                    t=now,
+                    parent=self._content_context(),
+                    node=self._node_name(),
+                    base_time=their_time,
+                    doc_time=self._doc_time,
+                    ops=len(ops),
+                    bytes=len(ops_json),
+                ).finish(now)
         content = NewContent(
             self._doc_time,
             user_actions_json=encode_actions(actions) if actions else "[]",
@@ -582,9 +696,9 @@ class RCBAgent(BrowserExtension):
         )
         delta_xml = build_envelope(content)
         if len(delta_xml) >= len(full):
-            self.stats["delta_fallbacks"] += 1
+            self.stats.inc("delta_fallbacks")
             return full, False
-        self.stats["delta_bytes_saved"] += len(full) - len(delta_xml)
+        self.stats.inc("delta_bytes_saved", len(full) - len(delta_xml))
         return delta_xml, True
 
     @property
@@ -628,14 +742,14 @@ class RCBAgent(BrowserExtension):
                 # A stale or hostile reference (the document may have
                 # changed since the participant saw it) must not take
                 # down the agent; drop the action.
-                self.stats["action_errors"] += 1
+                self.stats.inc("action_errors")
                 return
-            self.stats["actions_applied"] += 1
+            self.stats.inc("actions_applied")
         elif decision == ModerationPolicy.HOLD:
             self.pending_actions.append(PendingAction(participant_id, action))
-            self.stats["actions_held"] += 1
+            self.stats.inc("actions_held")
         else:
-            self.stats["actions_dropped"] += 1
+            self.stats.inc("actions_dropped")
 
     def confirm_pending(self):
         """Host approves all held actions (ConfirmPolicy workflow).
@@ -648,9 +762,9 @@ class RCBAgent(BrowserExtension):
             try:
                 yield from self._apply_action(pending.participant_id, pending.action)
             except ActionError:
-                self.stats["action_errors"] += 1
+                self.stats.inc("action_errors")
                 continue
-            self.stats["actions_applied"] += 1
+            self.stats.inc("actions_applied")
             applied += 1
         return applied
 
@@ -658,7 +772,7 @@ class RCBAgent(BrowserExtension):
         """Host discards all held actions."""
         count = len(self.pending_actions)
         self.pending_actions = []
-        self.stats["actions_dropped"] += count
+        self.stats.inc("actions_dropped", count)
         return count
 
     def _apply_action(self, participant_id: str, action: UserAction):
@@ -693,7 +807,7 @@ class RCBAgent(BrowserExtension):
         else:
             # Presence snapshots and unknown future kinds are not
             # participant-appliable; ignore them.
-            self.stats["action_errors"] += 1
+            self.stats.inc("action_errors")
 
     def broadcast_action(self, action: UserAction, exclude: Optional[str] = None) -> None:
         """Queue an action for delivery to all (other) participants —
@@ -706,6 +820,6 @@ class RCBAgent(BrowserExtension):
 
     def _authenticate(self, request: HttpRequest) -> bool:
         if not self._auth.verify(request.method, request.target, request.body):
-            self.stats["auth_failures"] += 1
+            self.stats.inc("auth_failures")
             return False
         return True

@@ -48,6 +48,7 @@ removals repeat at a fixed index, and insert indices are in final
 
 from __future__ import annotations
 
+import time as _time
 from typing import Dict, List, Optional
 
 from ..html import Comment, Element, Text
@@ -105,8 +106,16 @@ def _section(root: Element, name: str) -> Optional[Element]:
 # -- diff --------------------------------------------------------------------------------
 
 
-def diff_trees(old_root: Element, new_root: Element) -> List[Dict]:
-    """Operations turning ``old_root`` into ``new_root`` (canonical trees)."""
+def diff_trees(
+    old_root: Element, new_root: Element, metrics=None, node: Optional[str] = None
+) -> List[Dict]:
+    """Operations turning ``old_root`` into ``new_root`` (canonical trees).
+
+    With ``metrics`` (a :class:`~repro.obs.registry.MetricsRegistry`),
+    diff wall-time and op counts are published as ``delta_diff_seconds``
+    / ``delta_diff_ops``, labeled by ``node``.
+    """
+    started = _time.perf_counter() if metrics is not None else 0.0
     ops: List[Dict] = []
 
     old_head = _section(old_root, "head") or Element("head")
@@ -127,6 +136,12 @@ def diff_trees(old_root: Element, new_root: Element) -> List[Dict]:
         elif old.attributes != el.attributes:
             ops.append({"op": "top", "sec": el.tag, "attrs": _attr_list(el)})
         _diff_children(old, el, el.tag, [], ops)
+    if metrics is not None:
+        labels = {"node": node} if node else {}
+        metrics.histogram("delta_diff_seconds", **labels).observe(
+            _time.perf_counter() - started
+        )
+        metrics.counter("delta_diff_ops", **labels).inc(len(ops))
     return ops
 
 
@@ -290,16 +305,22 @@ def _diff_matched(old_node: Node, new_node: Node, sec: str, path: List[int], ops
 # -- apply -------------------------------------------------------------------------------
 
 
-def apply_delta(root: Element, ops: List[Dict]) -> int:
+def apply_delta(
+    root: Element, ops: List[Dict], metrics=None, node: Optional[str] = None
+) -> int:
     """Apply ``ops`` to a canonical tree in place; returns the op count.
 
     Raises :class:`DeltaError` on any structural mismatch — a missing
     section, a dangling path, a type-confused op, or a malformed op
     record.  Callers treat that as "this participant needs a resync",
     not as a fatal condition.
+
+    With ``metrics``, apply wall-time and op counts are published as
+    ``delta_apply_seconds`` / ``delta_apply_ops``, labeled by ``node``.
     """
     if not isinstance(ops, list):
         raise DeltaError("ops must be a list")
+    started = _time.perf_counter() if metrics is not None else 0.0
     applied = 0
     for op in ops:
         if not isinstance(op, dict):
@@ -309,6 +330,12 @@ def apply_delta(root: Element, ops: List[Dict]) -> int:
         except (KeyError, TypeError, AttributeError) as exc:
             raise DeltaError("malformed op %r: %s" % (op, exc))
         applied += 1
+    if metrics is not None:
+        labels = {"node": node} if node else {}
+        metrics.histogram("delta_apply_seconds", **labels).observe(
+            _time.perf_counter() - started
+        )
+        metrics.counter("delta_apply_ops", **labels).inc(applied)
     return applied
 
 

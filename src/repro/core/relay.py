@@ -52,6 +52,7 @@ from typing import Callable, List, Optional
 
 from ..http import RequestFailed
 from ..net.socket import NetworkError
+from ..obs import MetricsRegistry, Tracer
 from ..sim import Interrupt
 from .actions import MouseMoveAction, ScrollAction, UserAction
 from .agent import AGENT_DEFAULT_PORT, RCBAgent
@@ -70,6 +71,9 @@ class RelayAgent(RCBAgent):
     to :attr:`url` exactly as they would to the host agent.
     """
 
+    #: Relay spans read relay.generate / relay.serve / relay.delta_diff.
+    _span_prefix = "relay"
+
     def __init__(
         self,
         upstream_url: str,
@@ -86,6 +90,8 @@ class RelayAgent(RCBAgent):
         reattach_backoff: Optional[BackoffPolicy] = None,
         fallback_urls: Optional[List[str]] = None,
         on_reattach: Optional[Callable[["RelayAgent", str], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(
             port=port,
@@ -94,6 +100,9 @@ class RelayAgent(RCBAgent):
             poll_interval=poll_interval if poll_interval is not None else 1.0,
             enable_delta=enable_delta,
             delta_history=delta_history,
+            metrics=metrics,
+            tracer=tracer,
+            metrics_node=relay_id,
         )
         self.upstream_url = upstream_url
         #: This relay's participant id at its upstream (defaults to the
@@ -125,13 +134,8 @@ class RelayAgent(RCBAgent):
         self._reattach_proc = None
         self._shutting_down = False
 
-        self.stats.update(
-            {
-                "actions_forwarded": 0,
-                "upstream_failures": 0,
-                "reattachments": 0,
-            }
-        )
+        for key in ("actions_forwarded", "upstream_failures", "reattachments"):
+            self.stats.declare_counter(key)
 
     # -- extension lifecycle -----------------------------------------------------------
 
@@ -197,11 +201,17 @@ class RelayAgent(RCBAgent):
             browser_type=self.browser_type,
             fetch_objects=self.fetch_objects,
             backoff=self.poll_backoff,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
+        snippet.apply_span_name = "relay.apply"
         # Resuming mid-session: tell the upstream what we already have,
         # so it can answer with a delta instead of the full envelope.
         snippet.last_doc_time = self._doc_time
-        snippet.on_content = self._on_upstream_content
+        # Bind the snippet into the callback: during a re-attachment race
+        # the relay must credit content (and its trace context) to the
+        # channel that actually delivered it, not just the current one.
+        snippet.on_content = lambda content, s=snippet: self._on_upstream_content(content, s)
         snippet.on_actions = self._on_upstream_actions
         snippet.on_disconnect = self._on_upstream_disconnect
         return snippet
@@ -218,7 +228,15 @@ class RelayAgent(RCBAgent):
 
     # -- upstream event hooks -----------------------------------------------------------
 
-    def _on_upstream_content(self, content: NewContent) -> None:
+    def _on_upstream_content(
+        self, content: NewContent, snippet: Optional[AjaxSnippet] = None
+    ) -> None:
+        # Remember which apply span produced this document state *before*
+        # advancing doc_time (which may wake long-poll waiters that serve
+        # immediately) — downstream serve spans parent under it, keeping
+        # the trace connected across tiers.
+        if snippet is not None and snippet.last_apply_context is not None:
+            self._remember_content_context(content.doc_time, snippet.last_apply_context)
         # Adopt the upstream's timestamp unchanged: consistent doc_time
         # across tiers is what keeps the protocol honest end to end.
         self._set_doc_time(content.doc_time)
@@ -231,7 +249,7 @@ class RelayAgent(RCBAgent):
     def _on_upstream_disconnect(self) -> None:
         if self._shutting_down or self.browser is None:
             return
-        self.stats["upstream_failures"] += 1
+        self.stats.inc("upstream_failures")
         dead = self.upstream
         if dead is not None:
             # Salvage actions the dead channel never delivered.
@@ -266,7 +284,7 @@ class RelayAgent(RCBAgent):
                 except (RequestFailed, NetworkError):
                     continue  # unreachable — try the next ancestor
                 self._adopt_snippet(snippet, url)
-                self.stats["reattachments"] += 1
+                self.stats.inc("reattachments")
                 if self.on_reattach is not None:
                     self.on_reattach(self, url)
                 return
@@ -289,7 +307,7 @@ class RelayAgent(RCBAgent):
 
     def forward_upstream(self, action: UserAction) -> None:
         """Piggyback ``action`` on the relay's next upstream poll."""
-        self.stats["actions_forwarded"] += 1
+        self.stats.inc("actions_forwarded")
         if self.upstream is not None:
             self.upstream.queue_action(action)
         else:

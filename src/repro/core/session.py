@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from ..browser.browser import Browser
+from ..obs import Histogram, MetricsRegistry, Tracer
 from .agent import AGENT_DEFAULT_PORT, RCBAgent
 from .policy import ModerationPolicy
 from .relay import RelayAgent
@@ -81,6 +82,8 @@ class CoBrowsingSession:
         agent: Optional[RCBAgent] = None,
         enable_delta: bool = True,
         backoff: Optional[BackoffPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.host_browser = host_browser
         self.sim = host_browser.sim
@@ -92,8 +95,16 @@ class CoBrowsingSession:
                 secret=secret,
                 poll_interval=poll_interval,
                 enable_delta=enable_delta,
+                metrics=metrics,
+                tracer=tracer,
+                metrics_node=host_browser.name,
             )
+        elif tracer is not None and agent.tracer is None:
+            agent.tracer = tracer
         self.agent = agent
+        #: The session-wide registry/tracer every member publishes into.
+        self.metrics = self.agent.metrics
+        self.tracer = self.agent.tracer
         self.agent.install(host_browser)
         self.participants: Dict[str, AjaxSnippet] = {}
         #: Fan-out mode: participant id -> its RelayAgent.
@@ -169,12 +180,15 @@ class CoBrowsingSession:
             browser_type=browser_type,
             fetch_objects=fetch_objects,
             backoff=self._derive_backoff(participant_id or participant_browser.name),
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         yield from snippet.connect()
         if snippet.participant_id in self.participants:
             snippet.disconnect()
             raise SessionError("participant id %r already joined" % snippet.participant_id)
         self.participants[snippet.participant_id] = snippet
+        self._update_membership_gauge()
         return snippet
 
     def _derive_backoff(self, member_id: str) -> Optional[BackoffPolicy]:
@@ -205,6 +219,8 @@ class CoBrowsingSession:
             poll_backoff=self._derive_backoff(member_id),
             reattach_backoff=self._reattach_backoff.derive(member_id),
             on_reattach=self._on_relay_reattach,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         relay.install(participant_browser)
         try:
@@ -220,7 +236,13 @@ class CoBrowsingSession:
         self._nodes[member_id] = node
         self.relays[member_id] = relay
         relay.set_fallbacks(self._fallbacks_for(node))
+        self._update_membership_gauge()
         return relay
+
+    def _update_membership_gauge(self) -> None:
+        self.metrics.gauge("session_members").set(
+            len(self.participants) + len(self.relays)
+        )
 
     def _least_loaded_node(self) -> _TreeNode:
         """The attach point for the next joiner: among nodes with a free
@@ -294,6 +316,7 @@ class CoBrowsingSession:
         relay = self.relays.pop(participant_id, None)
         if relay is None:
             raise SessionError("no relay %r in this session" % participant_id)
+        self._update_membership_gauge()
         node = self._nodes.pop(participant_id, None)
         if node is not None and node.parent is not None:
             parent = self._nodes.get(node.parent)
@@ -321,6 +344,7 @@ class CoBrowsingSession:
         member.disconnect()
         self.participants.pop(member.participant_id, None)
         self.agent.disconnect(member.participant_id)
+        self._update_membership_gauge()
 
     def close(self) -> None:
         """Disconnect every participant and uninstall the agent."""
@@ -395,11 +419,14 @@ class CoBrowsingSession:
         carried in envelopes; ``relay_content_bytes`` is the envelope
         traffic the relays absorbed — bytes the host's uplink *saved*.
         Per-tier rows carry node counts, polls served, content bytes
-        served, and the mean last content-sync latency observed at that
-        tier's upstream links.
+        served, the mean last content-sync latency observed at that
+        tier's upstream links, and the tier's sync-latency distribution
+        (``sync_p50``/``sync_p95``/``sync_p99``, merged from each
+        member's registry histogram).
         """
         root_stats = self.agent.stats
         tiers: Dict[int, Dict[str, object]] = {}
+        tier_histograms: Dict[int, Histogram] = {}
         totals = {"content_bytes": 0, "object_requests": 0, "reattachments": 0}
         for node_id, relay in self.relays.items():
             node = self._nodes.get(node_id)
@@ -414,14 +441,22 @@ class CoBrowsingSession:
             tier["content_bytes"] += served
             if relay.upstream is not None:
                 tier["sync_samples"].append(relay.upstream.stats.last_sync_seconds)
+                aggregate = tier_histograms.get(depth)
+                if aggregate is None:
+                    aggregate = tier_histograms[depth] = Histogram("tier_sync_seconds", ())
+                aggregate.merge(relay.upstream.stats.histogram("sync_seconds"))
             totals["content_bytes"] += served
             totals["object_requests"] += relay.stats["object_requests"]
             totals["reattachments"] += relay.stats["reattachments"]
-        for tier in tiers.values():
+        for depth, tier in tiers.items():
             samples = tier.pop("sync_samples")
             tier["mean_sync_seconds"] = (
                 sum(samples) / len(samples) if samples else 0.0
             )
+            aggregate = tier_histograms.get(depth)
+            tier["sync_p50"] = aggregate.p50 if aggregate else 0.0
+            tier["sync_p95"] = aggregate.p95 if aggregate else 0.0
+            tier["sync_p99"] = aggregate.p99 if aggregate else 0.0
         return {
             "branching": self.branching,
             "members": len(self.relays) + len(self.participants),

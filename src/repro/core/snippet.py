@@ -35,6 +35,8 @@ from ..browser.browser import Browser
 from ..http import RequestFailed
 from ..html import Element
 from ..net.url import parse_url
+from ..obs import MetricsRegistry, StatsFacade, Tracer
+from ..obs.trace import TRACE_HEADER, Span, SpanContext, parse_trace_header
 from ..sim import Interrupt
 from .actions import (
     ClickAction,
@@ -118,32 +120,84 @@ class BackoffPolicy:
 
 
 class SnippetStats:
-    """Counters and the paper's participant-side metrics."""
+    """Counters and the paper's participant-side metrics.
 
-    def __init__(self):
-        self.polls_sent = 0
-        self.empty_responses = 0
-        self.content_updates = 0
-        #: Content updates applied incrementally from a <delta> section.
-        self.delta_updates = 0
-        #: Deltas that could not be applied (base mismatch, bad ops) and
-        #: forced a full-envelope resync on the next poll.
-        self.delta_failures = 0
-        self.action_only_updates = 0
-        self.actions_sent = 0
-        self.actions_received: List[UserAction] = []
-        #: M2: simulated time of the poll exchange that carried content.
-        self.last_sync_seconds = 0.0
-        #: M6: wall-clock time of the in-place document update.
-        self.last_update_seconds = 0.0
-        #: M3/M4: simulated time downloading supplementary objects.
-        self.last_objects_seconds = 0.0
-        #: Poll attempts that failed at the network level.
-        self.connection_errors = 0
+    Attribute names and read/write behaviour are unchanged from the old
+    plain-attribute class, but the values now live in registry
+    instruments (prefix ``snippet_``, labeled by participant node).
+    Counters: ``polls_sent``, ``empty_responses``, ``content_updates``,
+    ``delta_updates`` (incremental <delta> applies), ``delta_failures``
+    (forced full resyncs), ``action_only_updates``, ``actions_sent``,
+    ``connection_errors``.  Gauges: ``last_sync_seconds`` (M2, simulated
+    poll-exchange time), ``last_update_seconds`` (M6, wall-clock in-place
+    update), ``last_objects_seconds`` (M3/M4, simulated object
+    downloads).  Every gauge assignment also feeds a same-named
+    ``*_seconds`` histogram — the source of the report's p50/p95/p99.
+    """
+
+    _COUNTERS = (
+        "polls_sent",
+        "empty_responses",
+        "content_updates",
+        "delta_updates",
+        "delta_failures",
+        "action_only_updates",
+        "actions_sent",
+        "connection_errors",
+    )
+    _GAUGES = ("last_sync_seconds", "last_update_seconds", "last_objects_seconds")
+    #: Gauge key -> the histogram fed on each assignment.
+    _DISTRIBUTIONS = {
+        "last_sync_seconds": "sync_seconds",
+        "last_update_seconds": "update_seconds",
+        "last_objects_seconds": "objects_seconds",
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, node: Optional[str] = None):
+        facade = StatsFacade(
+            registry if registry is not None else MetricsRegistry(),
+            prefix="snippet_",
+            labels={"node": node} if node else {},
+            counters=self._COUNTERS,
+            gauges=self._GAUGES,
+            histograms=tuple(self._DISTRIBUTIONS.values()),
+        )
+        object.__setattr__(self, "_facade", facade)
+        #: Actions mirrored from the host, in arrival order (plain list).
+        object.__setattr__(self, "actions_received", [])
+
+    @property
+    def facade(self) -> StatsFacade:
+        """The underlying dict-shaped registry view."""
+        return self._facade
+
+    def histogram(self, key: str):
+        """A latency histogram by unprefixed key (e.g. ``sync_seconds``)."""
+        return self._facade.histogram(key)
+
+    def __getattr__(self, name):
+        facade = object.__getattribute__(self, "_facade")
+        if name in facade:
+            return facade[name]
+        raise AttributeError(name)
+
+    def __setattr__(self, name, value) -> None:
+        facade = self._facade
+        if name in facade:
+            facade.set(name, value)
+            distribution = self._DISTRIBUTIONS.get(name)
+            if distribution is not None:
+                facade.observe(distribution, value)
+        else:
+            object.__setattr__(self, name, value)
 
 
 class AjaxSnippet:
     """Participant-side poller and document updater."""
+
+    #: Span name for this endpoint's content applies; a relay's upstream
+    #: snippet overrides with "relay.apply".
+    apply_span_name = "snippet.apply"
 
     def __init__(
         self,
@@ -155,6 +209,8 @@ class AjaxSnippet:
         browser_type: str = "firefox",
         fetch_objects: bool = True,
         backoff: Optional[BackoffPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if browser_type not in ("firefox", "ie"):
             raise ValueError("browser_type must be 'firefox' or 'ie'")
@@ -173,8 +229,15 @@ class AjaxSnippet:
         #: one poll interval, the original hardcoded behaviour.
         self.backoff = backoff
 
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        #: Context of the last successful apply span — the parent a
+        #: relay hands its own downstream re-serves (trace continuity
+        #: across tiers).
+        self.last_apply_context: Optional[SpanContext] = None
+
         self.last_doc_time = 0
-        self.stats = SnippetStats()
+        self.stats = SnippetStats(self.metrics, node=self.participant_id)
         #: Consecutive poll failures tolerated before giving up.
         self.max_poll_failures = 5
         self._consecutive_failures = 0
@@ -304,7 +367,9 @@ class AjaxSnippet:
         if response.status != 200 or not response.body:
             self.stats.empty_responses += 1
             return False
-        applied = yield from self._process_response(response.text(), started)
+        applied = yield from self._process_response(
+            response.text(), started, response.headers.get(TRACE_HEADER)
+        )
         return applied
 
     def flush(self):
@@ -313,7 +378,33 @@ class AjaxSnippet:
 
     # -- response processing (Fig. 5) ------------------------------------------------------
 
-    def _process_response(self, xml_text: str, poll_started: float):
+    def _start_apply_span(
+        self, trace_header: Optional[str], kind: str, content: NewContent, sync_seconds: float
+    ) -> Optional[Span]:
+        """Open this endpoint's apply span, parented under the serving
+        span whose context arrived in the ``X-RCB-Trace`` header."""
+        if self.tracer is None:
+            return None
+        return self.tracer.start_span(
+            self.apply_span_name,
+            t=self.sim.now,
+            parent=parse_trace_header(trace_header),
+            node=self.participant_id,
+            kind=kind,
+            doc_time=content.doc_time,
+            sync_seconds=sync_seconds,
+        )
+
+    def _finish_apply_span(self, span: Optional[Span], wall_seconds: float) -> None:
+        if span is None:
+            return
+        span.tags["wall_seconds"] = wall_seconds
+        span.finish(self.sim.now)
+        self.last_apply_context = span.context
+
+    def _process_response(
+        self, xml_text: str, poll_started: float, trace_header: Optional[str] = None
+    ):
         try:
             content = parse_envelope(xml_text)
         except EnvelopeError:
@@ -321,13 +412,14 @@ class AjaxSnippet:
             return False
 
         if content.is_delta:
-            applied = yield from self._process_delta(content, poll_started)
+            applied = yield from self._process_delta(content, poll_started, trace_header)
             self._deliver_actions(content)
             return applied
 
         has_content = bool(content.head_children or content.top_elements)
         if has_content:
             sync_seconds = self.sim.now - poll_started
+            span = self._start_apply_span(trace_header, "full", content, sync_seconds)
             wall_started = time.perf_counter()
             self._apply_update(content)
             self._apply_replicated_cookies(content)
@@ -341,6 +433,7 @@ class AjaxSnippet:
             # supplementary objects are still in flight.
             self.last_doc_time = content.doc_time
             self.stats.content_updates += 1
+            self._finish_apply_span(span, self.stats.last_update_seconds)
             if self.on_content is not None:
                 self.on_content(content)
         else:
@@ -350,7 +443,9 @@ class AjaxSnippet:
         self._deliver_actions(content)
         return has_content
 
-    def _process_delta(self, content: NewContent, poll_started: float):
+    def _process_delta(
+        self, content: NewContent, poll_started: float, trace_header: Optional[str] = None
+    ):
         """The fifth update path: apply a <delta> section in place.
 
         Any mismatch — the delta's base is not exactly our current
@@ -360,6 +455,7 @@ class AjaxSnippet:
         correctness dependency.
         """
         sync_seconds = self.sim.now - poll_started
+        span = self._start_apply_span(trace_header, "delta", content, sync_seconds)
         ok = False
         if content.base_time == self.last_doc_time:
             wall_started = time.perf_counter()
@@ -370,6 +466,9 @@ class AjaxSnippet:
                 ok = False
             self.stats.last_update_seconds = time.perf_counter() - wall_started
         if not ok:
+            if span is not None:
+                span.tags["failed"] = True
+                span.finish(self.sim.now)
             self.stats.delta_failures += 1
             self.last_doc_time = 0  # force a full-envelope resync next poll
             yield self.sim.timeout(0)
@@ -382,6 +481,7 @@ class AjaxSnippet:
         self.last_doc_time = content.doc_time
         self.stats.content_updates += 1
         self.stats.delta_updates += 1
+        self._finish_apply_span(span, self.stats.last_update_seconds)
         if self.on_content is not None:
             self.on_content(content)
         return True
@@ -402,7 +502,7 @@ class AjaxSnippet:
                 break
         try:
             ops = json.loads(content.delta_ops_json)
-            apply_delta(html, ops)
+            apply_delta(html, ops, metrics=self.metrics, node=self.participant_id)
         finally:
             if snippet_script is not None:
                 target_head = document.head

@@ -10,6 +10,7 @@ from .report import (
     render_relay_summary,
     render_shape_checks,
     render_table1,
+    render_trace_summary,
 )
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "render_relay_summary",
     "render_shape_checks",
     "render_table1",
+    "render_trace_summary",
     "run_experiment",
     "run_round",
 ]

@@ -7,8 +7,9 @@ Figure 6/7 (M1 vs M2 per site), Figure 8 (M3 vs M4 per site), Table 1
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..obs import Histogram, percentile
 from .metrics import SiteMeasurement
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "render_figure_m3_m4",
     "render_relay_summary",
     "render_table1",
+    "render_trace_summary",
     "render_shape_checks",
     "bar",
 ]
@@ -84,8 +86,15 @@ def render_figure_m3_m4(
 def render_table1(
     non_cache_rows: Sequence[SiteMeasurement],
     cache_rows: Sequence[SiteMeasurement],
+    distributions: Optional[Dict[str, Histogram]] = None,
 ) -> str:
-    """Table 1: homepage size and processing time of the 20 sites."""
+    """Table 1: homepage size and processing time of the 20 sites.
+
+    ``distributions`` (label -> histogram of raw observations, e.g. from
+    :meth:`~repro.metrics.harness.ExperimentResult.distribution`) appends
+    a p50/p95/p99 block — per-site means hide the tail the paper's
+    slowest sites live in.
+    """
     cache_by_site = {r.site: r for r in cache_rows}
     lines = [
         "Table 1: homepage size and processing time",
@@ -105,6 +114,26 @@ def render_table1(
                 row.m6,
             )
         )
+    if distributions:
+        lines.append("Distributions over raw per-site observations (all rounds):")
+        lines.append(
+            "  %-16s %6s %10s %10s %10s %10s"
+            % ("metric", "n", "mean", "p50", "p95", "p99")
+        )
+        for label, histogram in distributions.items():
+            if histogram is None:
+                continue
+            lines.append(
+                "  %-16s %6d %9.4fs %9.4fs %9.4fs %9.4fs"
+                % (
+                    label,
+                    histogram.count,
+                    histogram.mean,
+                    histogram.p50,
+                    histogram.p95,
+                    histogram.p99,
+                )
+            )
     return "\n".join(lines)
 
 
@@ -176,19 +205,106 @@ def render_relay_summary(summary: Dict[str, object], title: str = "Relay fan-out
     tiers = summary.get("tiers") or {}
     if tiers:
         lines.append(
-            "  %-6s %6s %8s %14s %16s"
-            % ("tier", "nodes", "polls", "content bytes", "mean sync (s)")
+            "  %-6s %6s %8s %14s %14s %9s %9s %9s"
+            % (
+                "tier",
+                "nodes",
+                "polls",
+                "content bytes",
+                "mean sync (s)",
+                "p50 (s)",
+                "p95 (s)",
+                "p99 (s)",
+            )
         )
         for depth in sorted(tiers):
             tier = tiers[depth]
             lines.append(
-                "  %-6d %6d %8d %14d %16.3f"
+                "  %-6d %6d %8d %14d %14.3f %9.3f %9.3f %9.3f"
                 % (
                     depth,
                     tier.get("nodes", 0),
                     tier.get("polls", 0),
                     tier.get("content_bytes", 0),
                     tier.get("mean_sync_seconds", 0.0),
+                    tier.get("sync_p50", 0.0),
+                    tier.get("sync_p95", 0.0),
+                    tier.get("sync_p99", 0.0),
                 )
             )
+    return "\n".join(lines)
+
+
+def render_trace_summary(source, max_traces: int = 8) -> str:
+    """A per-trace span-tree listing plus per-stage duration percentiles.
+
+    ``source`` is a :class:`~repro.obs.trace.Tracer` or an iterable of
+    spans.  Each trace renders as an indented tree (parent-linked spans
+    under their parents, in sim-time order), so one participant poll in
+    a relayed session reads top to bottom: host.generate, host.serve,
+    relay.apply, relay.serve, snippet.apply.
+    """
+    spans = source.spans if hasattr(source, "spans") else list(source)
+    if not spans:
+        return "Trace summary: no spans recorded"
+    by_trace: Dict[str, List] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    lines = ["Trace summary: %d spans in %d traces" % (len(spans), len(by_trace))]
+
+    shown = 0
+    for trace_id, members in by_trace.items():
+        if shown >= max_traces:
+            lines.append(
+                "  ... %d more traces not shown" % (len(by_trace) - shown)
+            )
+            break
+        shown += 1
+        lines.append("  trace %s (%d spans)" % (trace_id, len(members)))
+        ids = {span.span_id for span in members}
+        children: Dict[str, List] = {}
+        roots = []
+        for span in members:
+            if span.parent_id in ids:
+                children.setdefault(span.parent_id, []).append(span)
+            else:
+                roots.append(span)
+
+        def walk(span, depth):
+            lines.append(
+                "    %s%-16s @%-16s %8.3fs +%.3fs %s"
+                % (
+                    "  " * depth,
+                    span.name,
+                    span.node or "?",
+                    span.start,
+                    span.duration,
+                    span.tags.get("kind", ""),
+                )
+            )
+            for child in sorted(children.get(span.span_id, []), key=lambda s: s.start):
+                walk(child, depth + 1)
+
+        for root in sorted(roots, key=lambda s: s.start):
+            walk(root, 0)
+
+    durations: Dict[str, List[float]] = {}
+    for span in spans:
+        durations.setdefault(span.name, []).append(span.duration)
+    lines.append("  Per-stage sim-time durations:")
+    lines.append(
+        "  %-18s %6s %10s %10s %10s" % ("span", "n", "p50", "p95", "p99")
+    )
+    for name in sorted(durations):
+        samples = durations[name]
+        lines.append(
+            "  %-18s %6d %9.3fs %9.3fs %9.3fs"
+            % (
+                name,
+                len(samples),
+                percentile(samples, 50),
+                percentile(samples, 95),
+                percentile(samples, 99),
+            )
+        )
     return "\n".join(lines)

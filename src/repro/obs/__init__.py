@@ -1,0 +1,45 @@
+"""repro.obs — observability: tracing, the metrics registry, exporters.
+
+The serving substrate every performance claim stands on: structured
+spans following content host → relays → participants in sim-time
+(:mod:`repro.obs.trace`), labeled counters/gauges/histograms replacing
+the old per-component stats dicts (:mod:`repro.obs.registry`), and
+JSONL / Chrome trace-event exports (:mod:`repro.obs.export`).
+"""
+
+from .export import chrome_trace, spans_to_jsonl, write_chrome_trace, write_spans_jsonl
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsFacade,
+    percentile,
+)
+from .trace import (
+    TRACE_HEADER,
+    Span,
+    SpanContext,
+    Tracer,
+    format_trace_header,
+    parse_trace_header,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "StatsFacade",
+    "TRACE_HEADER",
+    "Tracer",
+    "chrome_trace",
+    "format_trace_header",
+    "parse_trace_header",
+    "percentile",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,105 @@
+"""Span exporters: JSONL dumps and Chrome trace-event files.
+
+Two formats, two audiences:
+
+* **JSONL** — one :meth:`~repro.obs.trace.Span.to_dict` object per
+  line; trivially greppable/`jq`-able, the format the nightly benchmark
+  artifacts keep.
+* **Chrome trace-event JSON** — loadable in ``chrome://tracing`` /
+  Perfetto.  Each span becomes a complete ("X") event; pipeline nodes
+  (host, relays, participants) map to named threads so a relayed
+  session renders as a per-tier flame chart.  Sim-time seconds map to
+  the format's microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .trace import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]
+
+
+def _spans(source) -> List[Span]:
+    if isinstance(source, Tracer):
+        return source.spans
+    return list(source)
+
+
+def spans_to_jsonl(source) -> str:
+    """Serialize spans (a Tracer or iterable) to JSON-lines text."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True) for span in _spans(source))
+
+
+def write_spans_jsonl(source, path: str) -> int:
+    """Write the JSONL dump to ``path``; returns the span count."""
+    spans = _spans(source)
+    with open(path, "w") as handle:
+        text = spans_to_jsonl(spans)
+        if text:
+            handle.write(text + "\n")
+    return len(spans)
+
+
+def chrome_trace(source) -> Dict[str, object]:
+    """Build a ``chrome://tracing``-loadable trace-event document.
+
+    All spans share pid 1 (one simulated deployment); each pipeline
+    node gets its own tid plus a ``thread_name`` metadata record.  Span
+    tags and identity ride along in ``args`` so the original trace tree
+    is recoverable from the export alone.
+    """
+    spans = _spans(source)
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        node = span.node or "?"
+        tid = tids.get(node)
+        if tid is None:
+            tid = tids[node] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": node},
+                }
+            )
+        args: Dict[str, object] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.tags)
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.trace_id,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source, path: str) -> int:
+    """Write the Chrome trace-event document to ``path``; returns the
+    number of span events written (metadata records excluded)."""
+    document = chrome_trace(source)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return sum(1 for event in document["traceEvents"] if event["ph"] == "X")

@@ -1,0 +1,400 @@
+"""The unified metrics registry: counters, gauges, and histograms.
+
+Every RCB component — the host agent, each Ajax-Snippet, every relay
+tier, the delta engine, the session orchestrator — publishes its
+statistics here instead of mutating private dicts.  A registry is a flat
+namespace of *instruments* keyed by ``(name, labels)``:
+
+* :class:`Counter` — a monotonically growing integer (polls served,
+  bytes sent, fallbacks taken).
+* :class:`Gauge` — a point-in-time value (last generation seconds,
+  current session membership).
+* :class:`Histogram` — a sliding-window distribution with exact
+  p50/p95/p99 over the retained samples, plus all-time count/sum
+  (sync latencies, generation and update times).
+
+``registry.counter("agent_polls", node="bob")`` is get-or-create: the
+same (name, labels) pair always returns the same instrument, which is
+what lets a relay's replacement upstream snippet keep accumulating into
+the histogram its dead predecessor started.
+
+Backwards compatibility is preserved through :class:`StatsFacade`, a
+dict-shaped read view (``agent.stats["polls"]``) whose entries are
+registry instruments.  Production code mutates through the facade's
+``inc``/``set``/``observe`` methods (or the instruments directly), never
+through ``stats[...] +=`` item assignment — ``benchmarks/
+check_stats_hygiene.py`` enforces that boundary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+try:  # pragma: no cover - trivially version-dependent import
+    from collections.abc import Mapping
+except ImportError:  # pragma: no cover
+    from collections import Mapping  # type: ignore
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatsFacade",
+    "percentile",
+]
+
+#: How many recent samples a histogram retains for percentile queries.
+DEFAULT_HISTOGRAM_WINDOW = 4096
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def percentile(samples: Iterable[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) of ``samples``, by the
+    nearest-rank method; 0.0 for an empty sequence."""
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    if p <= 0:
+        return ordered[0]
+    if p >= 100:
+        return ordered[-1]
+    rank = max(1, int(-(-len(ordered) * p // 100)))  # ceil(n*p/100)
+    return ordered[rank - 1]
+
+
+class _Instrument:
+    """Shared identity: a name plus a frozen label set."""
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+
+    def label_text(self) -> str:
+        if not self.labels:
+            return ""
+        return "{%s}" % ",".join("%s=%s" % pair for pair in self.labels)
+
+    def __repr__(self):
+        return "%s(%s%s)" % (type(self).__name__, self.name, self.label_text())
+
+
+class Counter(_Instrument):
+    """A labeled counter.  ``inc`` is the normal mutation; ``set`` exists
+    for facade-mediated resets and absolute updates."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems):
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Gauge(_Instrument):
+    """A labeled point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram(_Instrument):
+    """A sliding-window distribution with exact percentiles.
+
+    ``count``/``sum`` cover every observation ever made; percentile
+    queries run over the most recent ``window`` samples (bounded memory
+    for soak-length runs, recency-weighted answers for dashboards).
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "_samples")
+
+    def __init__(self, name: str, labels: LabelItems, window: int = DEFAULT_HISTOGRAM_WINDOW):
+        super().__init__(name, labels)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._samples.append(value)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's retained samples and totals in —
+        used to aggregate one relay tier's per-node sync distributions."""
+        self.count += other.count
+        self.sum += other.sum
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+        for value in other._samples:
+            self._samples.append(value)
+
+    @property
+    def values(self) -> List[float]:
+        """The retained sample window, oldest first."""
+        return list(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        return percentile(self._samples, p)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary_text(self) -> str:
+        return "n=%d mean=%.6f p50=%.6f p95=%.6f p99=%.6f" % (
+            self.count,
+            self.mean,
+            self.p50,
+            self.p95,
+            self.p99,
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one deployment.
+
+    One registry per co-browsing session (the host agent, every relay
+    and snippet, the harness) gives a single place to render, export,
+    and assert on; components built standalone make a private one.
+    """
+
+    def __init__(self, histogram_window: int = DEFAULT_HISTOGRAM_WINDOW):
+        self.histogram_window = histogram_window
+        self._instruments: "Dict[Tuple[str, LabelItems], _Instrument]" = {}
+
+    def _get_or_create(self, kind, name: str, labels: Dict[str, str], **kwargs):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = kind(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+        if not isinstance(instrument, kind):
+            raise TypeError(
+                "metric %r is already registered as %s, not %s"
+                % (name, type(instrument).__name__, kind.__name__)
+            )
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, window=self.histogram_window
+        )
+
+    def collect(self) -> List[_Instrument]:
+        """Every instrument, sorted by (name, labels) for stable output."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def find(self, name: str, **labels) -> Optional[_Instrument]:
+        """The instrument at (name, labels), or None — never creates."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def histograms_named(self, name: str) -> List[Histogram]:
+        """Every histogram instrument with ``name``, across all labels."""
+        return [
+            inst
+            for inst in self.collect()
+            if inst.name == name and isinstance(inst, Histogram)
+        ]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """A JSON-ready dump of every instrument."""
+        rows: List[Dict[str, object]] = []
+        for inst in self.collect():
+            row: Dict[str, object] = {
+                "name": inst.name,
+                "labels": dict(inst.labels),
+                "type": type(inst).__name__.lower(),
+            }
+            if isinstance(inst, Histogram):
+                row.update(
+                    count=inst.count,
+                    sum=inst.sum,
+                    min=inst.min,
+                    max=inst.max,
+                    mean=inst.mean,
+                    p50=inst.p50,
+                    p95=inst.p95,
+                    p99=inst.p99,
+                )
+            else:
+                row["value"] = inst.value
+            rows.append(row)
+        return rows
+
+    def render(self, title: str = "Metrics registry") -> str:
+        """A human-readable listing of every instrument."""
+        lines = ["%s: %d instruments" % (title, len(self._instruments))]
+        for inst in self.collect():
+            if isinstance(inst, Histogram):
+                lines.append(
+                    "  %-44s %s" % (inst.name + inst.label_text(), inst.summary_text())
+                )
+            else:
+                value = inst.value
+                rendered = "%.6f" % value if isinstance(value, float) else str(value)
+                lines.append("  %-44s %s" % (inst.name + inst.label_text(), rendered))
+        return "\n".join(lines)
+
+
+class StatsFacade(Mapping):
+    """A dict-shaped read view over registry instruments.
+
+    Keeps the historical ``component.stats["polls"]`` read API intact
+    while the underlying storage moves to the registry.  Mutation goes
+    through :meth:`inc` / :meth:`set` / :meth:`observe` so the hygiene
+    lint can tell disciplined updates from stray dict pokes; item
+    assignment still works (tests and ad-hoc scripts reset counters) and
+    routes to the same instruments.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        prefix: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        counters: Iterable[str] = (),
+        gauges: Iterable[str] = (),
+        histograms: Iterable[str] = (),
+    ):
+        self._registry = registry
+        self._prefix = prefix
+        self._labels = dict(labels or {})
+        #: Mapping view: key -> Counter/Gauge (insertion ordered).
+        self._instruments: Dict[str, _Instrument] = {}
+        #: Histograms live beside the mapping view, not in it, so
+        #: ``dict(stats)`` stays the familiar flat numbers-only shape.
+        self._histograms: Dict[str, Histogram] = {}
+        for key in counters:
+            self.declare_counter(key)
+        for key in gauges:
+            self.declare_gauge(key)
+        for key in histograms:
+            self.declare_histogram(key)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    # -- declaration ---------------------------------------------------------------
+
+    def declare_counter(self, key: str) -> Counter:
+        counter = self._registry.counter(self._prefix + key, **self._labels)
+        self._instruments[key] = counter
+        return counter
+
+    def declare_gauge(self, key: str) -> Gauge:
+        gauge = self._registry.gauge(self._prefix + key, **self._labels)
+        self._instruments[key] = gauge
+        return gauge
+
+    def declare_histogram(self, key: str) -> Histogram:
+        histogram = self._registry.histogram(self._prefix + key, **self._labels)
+        self._histograms[key] = histogram
+        return histogram
+
+    # -- mutation ------------------------------------------------------------------
+
+    def inc(self, key: str, amount=1) -> None:
+        self._instruments[key].inc(amount)
+
+    def set(self, key: str, value) -> None:
+        self._instruments[key].set(value)
+
+    def observe(self, key: str, value: float) -> None:
+        self._histograms[key].observe(value)
+
+    # -- instrument access ---------------------------------------------------------
+
+    def instrument(self, key: str) -> _Instrument:
+        return self._instruments[key]
+
+    def histogram(self, key: str) -> Histogram:
+        return self._histograms[key]
+
+    # -- mapping protocol ----------------------------------------------------------
+
+    def __getitem__(self, key: str):
+        return self._instruments[key].value
+
+    def __setitem__(self, key: str, value) -> None:
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            if isinstance(value, float):
+                instrument = self.declare_gauge(key)
+            else:
+                instrument = self.declare_counter(key)
+        instrument.set(value)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, key) -> bool:
+        return key in self._instruments
+
+    def update(self, other=(), **kwargs) -> None:
+        """Dict-style bulk assignment (declares unknown keys)."""
+        items = other.items() if hasattr(other, "items") else other
+        for key, value in items:
+            self[key] = value
+        for key, value in kwargs.items():
+            self[key] = value
+
+    def __repr__(self):
+        return "StatsFacade(%s)" % dict(self)

@@ -1,0 +1,246 @@
+"""Structured end-to-end tracing for the co-browsing pipeline.
+
+A *trace* follows one piece of content from the host browser to every
+screen that renders it: response generation on the host (paper Fig. 3),
+the delta diff, each poll exchange that carried it, every relay tier
+that re-served it, and the in-place document update at each participant
+(Fig. 5).  Spans are timestamped in **sim-time** — the kernel clock the
+whole reproduction runs on — so durations line up exactly with the
+simulated network and the M1–M4 metrics; wall-clock compute (M5/M6) is
+attached as span tags.
+
+**Minting and propagation.**  Trace IDs are minted at the host: the
+first generation of a new document state opens the trace's root span.
+Context then travels *with the content*, downstream, in an
+``X-RCB-Trace: <trace_id>;<span_id>`` response header carried alongside
+the poll response (the HMAC scheme signs method, target, and body, so
+the extra header composes cleanly with request authentication).  A
+snippet that applies the content records its update span as a child of
+the serving span; a relay additionally remembers that apply span as the
+parent for its own downstream re-serves.  The result is one connected
+tree per document state:
+
+    host.generate
+      ├─ host.serve (relay r1 poll)
+      │    └─ relay.apply (r1)
+      │         └─ relay.serve (leaf p5 poll)
+      │              └─ snippet.apply (p5)
+      └─ host.serve (leaf p0 poll)
+           └─ snippet.apply (p0)
+
+Tracing is strictly opt-in: components default to ``tracer=None``, in
+which case no spans are recorded and **no header is emitted** — the
+wire format is byte-identical to the untraced protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "format_trace_header",
+    "parse_trace_header",
+]
+
+#: The response header that carries trace context alongside the poll
+#: protocol's timestamp and HMAC fields.
+TRACE_HEADER = "X-RCB-Trace"
+
+
+class SpanContext:
+    """The portable identity of a span: enough to parent a child."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SpanContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+        )
+
+    def __hash__(self):
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self):
+        return "SpanContext(%s;%s)" % (self.trace_id, self.span_id)
+
+
+def format_trace_header(context: SpanContext) -> str:
+    """Serialize a context for the ``X-RCB-Trace`` header."""
+    return "%s;%s" % (context.trace_id, context.span_id)
+
+
+def parse_trace_header(value: Optional[str]) -> Optional[SpanContext]:
+    """Parse an ``X-RCB-Trace`` header; None for absent/malformed input
+    (a bad header must never break the protocol — it is advisory)."""
+    if not value or ";" not in value:
+        return None
+    trace_id, _, span_id = value.partition(";")
+    trace_id = trace_id.strip()
+    span_id = span_id.strip()
+    if not trace_id or not span_id:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+class Span:
+    """One timed pipeline stage inside a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "node", "start", "end", "tags")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        node: str,
+        start: float,
+        tags: Optional[Dict[str, object]] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        #: Which pipeline node recorded the span (host browser name,
+        #: relay id, participant id) — becomes the Chrome trace "thread".
+        self.node = node
+        #: Sim-time the stage began.
+        self.start = start
+        #: Sim-time the stage finished (None while open).
+        self.end: Optional[float] = None
+        self.tags: Dict[str, object] = dict(tags or {})
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Sim-seconds the stage spanned (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def finish(self, t: float) -> "Span":
+        """Close the span at sim-time ``t``."""
+        if self.end is None:
+            self.end = t
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready record (the JSONL export row)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self):
+        return "Span(%s;%s %s@%s %.6f+%.6fs)" % (
+            self.trace_id,
+            self.span_id,
+            self.name,
+            self.node,
+            self.start,
+            self.duration,
+        )
+
+
+ParentLike = Union[Span, SpanContext, None]
+
+
+class Tracer:
+    """Mints IDs and collects spans for one deployment.
+
+    Share a single tracer across a session (host agent, relays,
+    snippets) so every tier's spans land in one place.  ID minting is a
+    plain counter — deterministic across runs, like the kernel itself.
+    ``max_spans`` bounds memory on soak-length runs by retiring the
+    oldest spans.
+    """
+
+    def __init__(self, max_spans: int = 100000):
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+        self._next_trace = 0
+        self._next_span = 0
+
+    # -- span lifecycle ---------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        t: float,
+        parent: ParentLike = None,
+        node: str = "",
+        **tags,
+    ) -> Span:
+        """Open a span at sim-time ``t``.
+
+        With ``parent`` (a :class:`Span` or :class:`SpanContext`) the
+        span joins that trace; without one it roots a brand-new trace.
+        """
+        if parent is None:
+            self._next_trace += 1
+            trace_id = "t%d" % self._next_trace
+            parent_id: Optional[str] = None
+        else:
+            context = parent.context if isinstance(parent, Span) else parent
+            trace_id = context.trace_id
+            parent_id = context.span_id
+        self._next_span += 1
+        span = Span(trace_id, "s%d" % self._next_span, parent_id, name, node, t, tags)
+        self._spans.append(span)
+        return span
+
+    # -- queries ----------------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Every retained span, in creation order."""
+        return list(self._spans)
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace IDs, in first-seen order."""
+        seen: List[str] = []
+        for span in self._spans:
+            if span.trace_id not in seen:
+                seen.append(span.trace_id)
+        return seen
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        """The spans of one trace, in creation order."""
+        return [span for span in self._spans if span.trace_id == trace_id]
+
+    def span_by_id(self, span_id: str) -> Optional[Span]:
+        for span in self._spans:
+            if span.span_id == span_id:
+                return span
+        return None
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self):
+        return "Tracer(%d spans, %d traces)" % (len(self._spans), len(self.trace_ids()))

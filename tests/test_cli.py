@@ -26,6 +26,21 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "table1", "--repetitions", "1"])
         assert args.repetitions == 1
 
+    def test_trace_defaults_and_flags(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.participants == 6
+        assert args.branching == 2
+        assert args.jsonl is None and args.chrome is None
+        args = build_parser().parse_args(
+            ["trace", "--participants", "3", "--branching", "1", "--jsonl", "s.jsonl"]
+        )
+        assert (args.participants, args.branching, args.jsonl) == (3, 1, "s.jsonl")
+
+    def test_metrics_takes_no_arguments(self):
+        assert build_parser().parse_args(["metrics"]).command == "metrics"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--bogus"])
+
 
 class TestCommands:
     def test_demo(self, capsys):
@@ -66,3 +81,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "T10-B" in out
         assert "FAIL" not in out
+
+    def test_trace_prints_connected_span_tree(self, capsys):
+        assert main(["trace", "--participants", "4", "--branching", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 traces" in out
+        assert "host.generate" in out
+        assert "relay.apply" in out
+        assert "Per-stage sim-time durations" in out
+
+    def test_trace_exports_both_formats(self, tmp_path, capsys):
+        import json
+
+        jsonl = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "events.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--participants",
+                    "2",
+                    "--jsonl",
+                    str(jsonl),
+                    "--chrome",
+                    str(chrome),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote" in out and "chrome://tracing" in out
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert any(row["name"] == "host.generate" for row in rows)
+        document = json.loads(chrome.read_text())
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_metrics_dumps_the_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Session metrics" in out
+        assert "agent_polls" in out
+        assert "snippet_sync_seconds" in out
+        assert "p95=" in out

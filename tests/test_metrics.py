@@ -9,10 +9,14 @@ from repro.metrics import (
     bar,
     render_figure_m1_m2,
     render_figure_m3_m4,
+    render_relay_summary,
     render_shape_checks,
     render_table1,
+    render_trace_summary,
+    run_experiment,
     run_round,
 )
+from repro.obs import MetricsRegistry, Tracer
 from repro.webserver import TABLE1_SITES
 
 
@@ -98,6 +102,29 @@ class TestHarness:
         assert set(result.by_site()) == {s.host for s in SAMPLE_SITES}
         assert result.sites_where(lambda r: r.m2 < r.m1) == [r.site for r in rows]
 
+    def test_distribution_without_registry_is_none(self):
+        result = ExperimentResult("lan", True, [row()])
+        assert result.distribution("m5_seconds") is None
+
+    def test_experiment_registry_keeps_raw_m5_m6_observations(self):
+        result = run_experiment(
+            "lan", cache_mode=True, repetitions=2, sites=SAMPLE_SITES
+        )
+        m5 = result.distribution("m5_seconds")
+        m6 = result.distribution("m6_seconds")
+        # One raw observation per site per round survives the averaging.
+        assert m5.count == len(SAMPLE_SITES) * 2
+        assert m6.count == len(SAMPLE_SITES) * 2
+        assert 0.0 < m5.p50 <= m5.p99
+        assert result.distribution("no_such_metric") is None
+
+    def test_experiment_accepts_a_session_tracer(self):
+        tracer = Tracer()
+        run_experiment("lan", cache_mode=True, repetitions=1, sites=SAMPLE_SITES[:1], tracer=tracer)
+        names = {span.name for span in tracer.spans}
+        assert "host.generate" in names
+        assert "snippet.apply" in names
+
 
 class TestReportRendering:
     def test_bar_scales(self):
@@ -129,3 +156,82 @@ class TestReportRendering:
         text = render_shape_checks({"claim a": True, "claim b": False})
         assert "[PASS] claim a" in text
         assert "[FAIL] claim b" in text
+
+    def test_table1_distribution_block(self):
+        non_cache = [row(m3=1.0, m4=None, cache=False)]
+        cache = [row()]
+        histogram = MetricsRegistry().histogram("m5_seconds")
+        for value in (0.01, 0.02, 0.1):
+            histogram.observe(value)
+        text = render_table1(
+            non_cache, cache, {"M5 non-cache": histogram, "M6": None}
+        )
+        assert "Distributions over raw per-site observations" in text
+        assert "p95" in text and "p99" in text
+        assert "0.0200s" in text  # the p50 of the three observations
+        assert "M6" not in text.split("Distributions")[1]  # None rows skipped
+
+    def test_table1_without_distributions_is_unchanged(self):
+        non_cache = [row(m3=1.0, m4=None, cache=False)]
+        text = render_table1(non_cache, [row()])
+        assert "Distributions" not in text
+
+    def test_relay_summary_tier_percentile_columns(self):
+        summary = {
+            "members": 3,
+            "branching": 2,
+            "depth": 1,
+            "host_polls": 40,
+            "host_content_bytes": 1000,
+            "relay_content_bytes": 3000,
+            "tiers": {
+                1: {
+                    "nodes": 3,
+                    "polls": 40,
+                    "content_bytes": 4000,
+                    "mean_sync_seconds": 0.2,
+                    "sync_p50": 0.150,
+                    "sync_p95": 0.950,
+                    "sync_p99": 0.990,
+                }
+            },
+        }
+        text = render_relay_summary(summary)
+        assert "p50 (s)" in text and "p95 (s)" in text and "p99 (s)" in text
+        assert "0.150" in text
+        assert "0.950" in text
+        assert "0.990" in text
+
+    def test_trace_summary_renders_tree_and_stage_percentiles(self):
+        tracer = Tracer()
+        root = tracer.start_span("host.generate", t=0.0, node="bob")
+        root.finish(0.0)
+        serve = tracer.start_span(
+            "host.serve", t=0.1, parent=root, node="bob", kind="full"
+        )
+        serve.finish(0.3)
+        tracer.start_span("snippet.apply", t=0.4, parent=serve, node="p0").finish(0.5)
+        text = render_trace_summary(tracer)
+        lines = text.splitlines()
+        assert "Trace summary: 3 spans in 1 traces" in lines[0]
+        generate_line = next(i for i, l in enumerate(lines) if "host.generate" in l)
+        serve_line = next(i for i, l in enumerate(lines) if "host.serve" in l)
+        # Children render indented beneath their parents.
+        indent = lambda i: len(lines[i]) - len(lines[i].lstrip())  # noqa: E731
+        assert generate_line < serve_line
+        assert indent(serve_line) > indent(generate_line)
+        assert "Per-stage sim-time durations:" in text
+        assert "snippet.apply" in text.split("Per-stage")[1]
+
+    def test_trace_summary_handles_empty_and_overflow(self):
+        assert render_trace_summary([]) == "Trace summary: no spans recorded"
+        tracer = Tracer()
+        for _ in range(4):
+            tracer.start_span("host.generate", t=0.0, node="bob").finish(0.0)
+        text = render_trace_summary(tracer, max_traces=2)
+        assert "2 more traces not shown" in text
+
+    def test_trace_summary_accepts_a_plain_span_iterable(self):
+        tracer = Tracer()
+        tracer.start_span("host.generate", t=0.0, node="bob").finish(0.0)
+        assert "host.generate" in render_trace_summary(tracer.spans)

@@ -1,0 +1,223 @@
+"""The unified metrics registry: instruments, percentiles, facades.
+
+Covers the observability tentpole's storage layer: get-or-create
+instrument identity, kind-conflict detection, sliding-window histograms
+with nearest-rank percentiles and cross-instrument merging, snapshots
+and rendering, and the StatsFacade dict view that keeps the historical
+``component.stats["key"]`` API alive over registry instruments.
+"""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsFacade,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_nearest_rank_bounds(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 5.0
+        assert percentile(samples, 50) == 3.0
+
+    def test_single_sample_everywhere(self):
+        assert percentile([7.0], 1) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+
+class TestInstruments:
+    def test_counter_inc_and_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("polls", node="a")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.set(0)
+        assert counter.value == 0
+
+    def test_gauge(self):
+        gauge = MetricsRegistry().gauge("members")
+        gauge.set(3.0)
+        gauge.inc()
+        assert gauge.value == 4.0
+
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        a = registry.counter("polls", node="r1")
+        b = registry.counter("polls", node="r1")
+        other_label = registry.counter("polls", node="r2")
+        assert a is b
+        assert a is not other_label
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("polls", node="r1", mode="cache")
+        b = registry.counter("polls", mode="cache", node="r1")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("polls")
+        with pytest.raises(TypeError):
+            registry.gauge("polls")
+        with pytest.raises(TypeError):
+            registry.histogram("polls")
+
+    def test_find_never_creates(self):
+        registry = MetricsRegistry()
+        assert registry.find("nope") is None
+        registry.counter("yes")
+        assert isinstance(registry.find("yes"), Counter)
+        assert registry.find("nope") is None
+
+
+class TestHistogram:
+    def test_count_sum_mean_minmax(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for value in (0.1, 0.2, 0.3):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.6)
+        assert histogram.mean == pytest.approx(0.2)
+        assert histogram.min == pytest.approx(0.1)
+        assert histogram.max == pytest.approx(0.3)
+
+    def test_percentiles_over_window(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.p50 == 50.0
+        assert histogram.p95 == 95.0
+        assert histogram.p99 == 99.0
+
+    def test_sliding_window_bounds_memory(self):
+        registry = MetricsRegistry(histogram_window=10)
+        histogram = registry.histogram("lat")
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100  # all-time count survives
+        assert len(histogram.values) == 10  # window retains the newest
+        assert histogram.values[0] == 90.0
+        assert histogram.p50 == 94.0  # percentiles are recency-weighted
+
+    def test_merge_folds_samples_and_totals(self):
+        a = Histogram("lat", ())
+        b = Histogram("lat", ())
+        a.observe(1.0)
+        b.observe(3.0)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.sum == pytest.approx(9.0)
+        assert a.min == 1.0
+        assert a.max == 5.0
+        assert sorted(a.values) == [1.0, 3.0, 5.0]
+
+    def test_empty_percentiles_are_zero(self):
+        histogram = MetricsRegistry().histogram("lat")
+        assert histogram.p50 == 0.0
+        assert histogram.mean == 0.0
+
+
+class TestRegistryViews:
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("polls", node="a").inc(2)
+        registry.gauge("members").set(4.0)
+        registry.histogram("lat").observe(0.5)
+        rows = {row["name"]: row for row in registry.snapshot()}
+        assert rows["polls"]["value"] == 2
+        assert rows["polls"]["labels"] == {"node": "a"}
+        assert rows["members"]["type"] == "gauge"
+        assert rows["lat"]["count"] == 1
+        assert rows["lat"]["p95"] == 0.5
+
+    def test_render_lists_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("polls").inc()
+        registry.histogram("lat").observe(0.25)
+        text = registry.render("Check")
+        assert "Check: 2 instruments" in text
+        assert "polls" in text
+        assert "p95=" in text
+
+    def test_histograms_named_across_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("sync", node="a").observe(1.0)
+        registry.histogram("sync", node="b").observe(2.0)
+        registry.counter("sync_count")
+        found = registry.histograms_named("sync")
+        assert len(found) == 2
+        assert all(isinstance(h, Histogram) for h in found)
+
+
+class TestStatsFacade:
+    def build(self):
+        registry = MetricsRegistry()
+        facade = StatsFacade(
+            registry,
+            prefix="agent_",
+            labels={"node": "bob"},
+            counters=("polls", "errors"),
+            gauges=("last_seconds",),
+            histograms=("seconds",),
+        )
+        return registry, facade
+
+    def test_dict_reads_keep_working(self):
+        _registry, facade = self.build()
+        facade.inc("polls", 3)
+        assert facade["polls"] == 3
+        assert dict(facade) == {"polls": 3, "errors": 0, "last_seconds": 0.0}
+        assert "polls" in facade
+        assert len(facade) == 3
+        assert sorted(facade) == ["errors", "last_seconds", "polls"]
+
+    def test_mutation_reaches_registry_instruments(self):
+        registry, facade = self.build()
+        facade.inc("polls")
+        facade.set("last_seconds", 0.75)
+        facade.observe("seconds", 0.75)
+        assert registry.counter("agent_polls", node="bob").value == 1
+        assert registry.gauge("agent_last_seconds", node="bob").value == 0.75
+        assert registry.histogram("agent_seconds", node="bob").count == 1
+
+    def test_histograms_stay_out_of_the_mapping_view(self):
+        _registry, facade = self.build()
+        assert "seconds" not in facade
+        assert facade.histogram("seconds").count == 0
+
+    def test_item_assignment_and_update_route_to_instruments(self):
+        registry, facade = self.build()
+        facade["polls"] = 9
+        facade.update({"errors": 2}, last_seconds=0.5)
+        assert facade["polls"] == 9
+        assert facade["errors"] == 2
+        assert registry.gauge("agent_last_seconds", node="bob").value == 0.5
+
+    def test_unknown_key_auto_declares_by_value_type(self):
+        _registry, facade = self.build()
+        facade["new_counter"] = 4
+        facade["new_gauge"] = 1.5
+        assert isinstance(facade.instrument("new_counter"), Counter)
+        assert isinstance(facade.instrument("new_gauge"), Gauge)
+
+    def test_shared_instrument_identity_across_facades(self):
+        # A relay's replacement upstream snippet keeps accumulating into
+        # the histograms its dead predecessor started: same (name,
+        # labels) -> same instrument.
+        registry = MetricsRegistry()
+        first = StatsFacade(registry, prefix="s_", labels={"node": "r1"}, histograms=("sync",))
+        first.observe("sync", 1.0)
+        second = StatsFacade(registry, prefix="s_", labels={"node": "r1"}, histograms=("sync",))
+        second.observe("sync", 2.0)
+        assert second.histogram("sync").count == 2

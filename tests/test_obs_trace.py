@@ -1,0 +1,423 @@
+"""End-to-end tracing: header propagation, span trees, exporters.
+
+Covers the observability tentpole's pipeline layer: the ``X-RCB-Trace``
+header roundtrip, zero bytes on the wire when tracing is off, one
+connected span tree per document state in flat sessions, trace
+continuity through a branching-4 depth-2 relay tree — including after a
+relay dies and its orphans re-attach — and the JSONL / Chrome
+trace-event exports.
+"""
+
+import json
+
+from repro.browser import Browser
+from repro.core import CoBrowsingSession
+from repro.html import Text
+from repro.net import LAN_PROFILE, Host, Network
+from repro.obs import (
+    SpanContext,
+    Tracer,
+    chrome_trace,
+    format_trace_header,
+    parse_trace_header,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+PAGE = (
+    "<html><head><title>Trace test</title></head>"
+    "<body><h1 id='headline'>News</h1>"
+    + "".join("<p id='p%d'>paragraph %d body</p>" % (i, i) for i in range(8))
+    + "</body></html>"
+)
+
+
+def build_world(participants=2, **session_kwargs):
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page("/", PAGE)
+    OriginServer(network, "site.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    host_browser = Browser(host_pc, name="bob")
+    session_kwargs.setdefault("poll_interval", 0.2)
+    session = CoBrowsingSession(host_browser, **session_kwargs)
+    browsers = []
+    for index in range(participants):
+        pc = Host(network, "part-pc-%d" % index, LAN_PROFILE, segment="campus")
+        browsers.append(Browser(pc, name="p%d" % index))
+    return sim, session, browsers
+
+
+def run(sim, generator, limit=1e9):
+    return sim.run_until_complete(sim.process(generator), limit=limit)
+
+
+def join_all(session, browsers):
+    members = []
+    for browser in browsers:
+        member = yield from session.join(browser)
+        members.append(member)
+    return members
+
+
+def edit_paragraph(browser, index, text):
+    def mutate(document):
+        target = document.get_element_by_id("p%d" % index)
+        target.remove_all_children()
+        target.append_child(Text(text))
+
+    browser.mutate_document(mutate)
+
+
+def chain_to_root(tracer, span):
+    """The parent chain from ``span`` up to its trace root (inclusive)."""
+    chain = [span]
+    while chain[-1].parent_id is not None:
+        parent = tracer.span_by_id(chain[-1].parent_id)
+        assert parent is not None, "dangling parent_id %r" % chain[-1].parent_id
+        chain.append(parent)
+    return chain
+
+
+class TestTraceHeader:
+    def test_roundtrip(self):
+        context = SpanContext("t7", "s42")
+        assert format_trace_header(context) == "t7;s42"
+        assert parse_trace_header("t7;s42") == context
+
+    def test_whitespace_is_tolerated(self):
+        assert parse_trace_header(" t7 ; s42 ") == SpanContext("t7", "s42")
+
+    def test_malformed_is_advisory_none(self):
+        for bad in (None, "", "t7", ";", "t7;", ";s42"):
+            assert parse_trace_header(bad) is None
+
+
+class TestTracer:
+    def test_parentless_span_roots_a_new_trace(self):
+        tracer = Tracer()
+        a = tracer.start_span("host.generate", t=1.0, node="bob")
+        b = tracer.start_span("host.generate", t=2.0, node="bob")
+        assert a.parent_id is None
+        assert a.trace_id != b.trace_id
+        assert tracer.trace_ids() == [a.trace_id, b.trace_id]
+
+    def test_child_joins_parent_trace_via_span_or_context(self):
+        tracer = Tracer()
+        root = tracer.start_span("host.generate", t=0.0, node="bob")
+        by_span = tracer.start_span("host.serve", t=0.1, parent=root, node="bob")
+        by_context = tracer.start_span(
+            "snippet.apply", t=0.2, parent=by_span.context, node="p0"
+        )
+        assert by_span.trace_id == root.trace_id
+        assert by_span.parent_id == root.span_id
+        assert by_context.parent_id == by_span.span_id
+        assert [s.span_id for s in tracer.spans_for(root.trace_id)] == [
+            root.span_id,
+            by_span.span_id,
+            by_context.span_id,
+        ]
+
+    def test_finish_and_duration(self):
+        tracer = Tracer()
+        span = tracer.start_span("host.serve", t=1.5, node="bob", bytes=10)
+        assert not span.finished
+        assert span.duration == 0.0
+        span.finish(2.0)
+        span.finish(9.9)  # idempotent
+        assert span.end == 2.0
+        assert span.duration == 0.5
+        assert span.tags["bytes"] == 10
+
+    def test_max_spans_retires_the_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for n in range(5):
+            tracer.start_span("s%d" % n, t=float(n))
+        assert len(tracer) == 3
+        assert [s.name for s in tracer.spans] == ["s2", "s3", "s4"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.start_span("x", t=0.0)
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestWireFormat:
+    def test_untraced_session_emits_no_trace_header(self):
+        """tracer=None is the default, and must add zero protocol bytes:
+        content responses carry no ``X-RCB-Trace`` header at all."""
+        sim, session, browsers = build_world(participants=1)
+        captured = []
+
+        def scenario():
+            (snippet,) = yield from join_all(session, browsers)
+            original = snippet._process_response
+
+            def spy(xml_text, poll_started, trace_header=None):
+                captured.append(trace_header)
+                return original(xml_text, poll_started, trace_header)
+
+            snippet._process_response = spy
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        assert session.tracer is None
+        assert captured  # the spy saw the content response
+        assert all(header is None for header in captured)
+        session.close()
+
+    def test_traced_session_carries_context_on_content_responses(self):
+        tracer = Tracer()
+        sim, session, browsers = build_world(participants=1, tracer=tracer)
+        captured = []
+
+        def scenario():
+            (snippet,) = yield from join_all(session, browsers)
+            original = snippet._process_response
+
+            def spy(xml_text, poll_started, trace_header=None):
+                captured.append(trace_header)
+                return original(xml_text, poll_started, trace_header)
+
+            snippet._process_response = spy
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        contexts = [parse_trace_header(h) for h in captured if h is not None]
+        assert contexts  # at least the initial content response was tagged
+        serving = tracer.span_by_id(contexts[0].span_id)
+        assert serving.name == "host.serve"
+        assert contexts[0].trace_id == serving.trace_id
+        session.close()
+
+
+class TestFlatSessionTrace:
+    def test_one_document_state_is_one_connected_trace(self):
+        tracer = Tracer()
+        sim, session, browsers = build_world(participants=2, tracer=tracer)
+
+        def scenario():
+            yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        assert len(tracer.trace_ids()) == 1
+        (trace_id,) = tracer.trace_ids()
+        spans = tracer.spans_for(trace_id)
+        roots = [s for s in spans if s.parent_id is None]
+        assert [r.name for r in roots] == ["host.generate"]
+        assert roots[0].node == "bob"
+        applies = [s for s in spans if s.name == "snippet.apply"]
+        assert sorted(s.node for s in applies) == ["p0", "p1"]
+        for apply_span in applies:
+            chain = chain_to_root(tracer, apply_span)
+            assert [s.name for s in chain] == [
+                "snippet.apply",
+                "host.serve",
+                "host.generate",
+            ]
+            assert apply_span.finished
+            assert apply_span.tags["kind"] == "full"
+        session.close()
+
+    def test_spans_are_timestamped_in_sim_time(self):
+        tracer = Tracer()
+        sim, session, browsers = build_world(participants=1, tracer=tracer)
+
+        def scenario():
+            yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        (apply_span,) = [s for s in tracer.spans if s.name == "snippet.apply"]
+        (serve_span,) = [s for s in tracer.spans if s.name == "host.serve"]
+        # Serving starts when the poll arrives; the apply happens after
+        # the response crossed the network — strictly later in sim-time.
+        assert serve_span.start <= apply_span.start
+        assert apply_span.end <= sim.now
+        # M5-style compute rides along as a wall-clock tag, not sim-time.
+        assert "wall_seconds" in apply_span.tags
+        session.close()
+
+    def test_subsequent_edit_roots_a_second_trace_with_delta_spans(self):
+        tracer = Tracer()
+        sim, session, browsers = build_world(participants=1, tracer=tracer)
+
+        def scenario():
+            yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            edit_paragraph(session.host_browser, 3, "edited once")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        assert len(tracer.trace_ids()) == 2
+        second = tracer.spans_for(tracer.trace_ids()[-1])
+        names = [s.name for s in second]
+        assert "host.delta_diff" in names
+        (apply_span,) = [s for s in second if s.name == "snippet.apply"]
+        assert apply_span.tags["kind"] == "delta"
+        assert chain_to_root(tracer, apply_span)[-1].name == "host.generate"
+        session.close()
+
+
+class TestRelayedTrace:
+    def test_branching4_depth2_tree_yields_one_connected_trace(self):
+        tracer = Tracer()
+        sim, session, browsers = build_world(participants=8, tracer=tracer)
+        session.fanout_tree(branching=4)
+
+        def scenario():
+            yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        assert session.tree_depth() == 2
+        assert len(tracer.trace_ids()) == 1
+        (trace_id,) = tracer.trace_ids()
+        spans = tracer.spans_for(trace_id)
+        roots = [s for s in spans if s.parent_id is None]
+        assert [r.name for r in roots] == ["host.generate"]
+        applies = {s.node: s for s in spans if s.name == "relay.apply"}
+        assert sorted(applies) == ["p%d" % n for n in range(8)]
+        for node, apply_span in applies.items():
+            chain = chain_to_root(tracer, apply_span)
+            names = [s.name for s in chain]
+            depth = session._nodes[node].depth
+            if depth == 1:  # directly under the root agent
+                assert names == ["relay.apply", "host.serve", "host.generate"]
+            else:  # tier 2: re-served by a tier-1 relay
+                assert names == [
+                    "relay.apply",
+                    "relay.serve",
+                    "relay.apply",
+                    "host.serve",
+                    "host.generate",
+                ]
+                assert chain[1].node == session._nodes[node].parent
+        session.close()
+
+    def test_trace_continuity_survives_relay_death_and_reattach(self):
+        tracer = Tracer()
+        sim, session, browsers = build_world(participants=8, tracer=tracer)
+        session.fanout_tree(branching=4)
+
+        def scenario():
+            yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            session.fail_relay("p0")
+            yield sim.timeout(20.0)  # orphan detects, backs off, re-attaches
+            edit_paragraph(session.host_browser, 5, "after the failure")
+            yield from session.wait_until_synced(timeout=30.0)
+
+        run(sim, scenario())
+        # p4 was p0's child; it re-homed under the root agent.
+        assert session._nodes["p4"].parent == ""
+        # The post-failure document state is again ONE connected trace
+        # that reaches every surviving member, including the orphan.
+        last = tracer.spans_for(tracer.trace_ids()[-1])
+        roots = [s for s in last if s.parent_id is None]
+        assert [r.name for r in roots] == ["host.generate"]
+        survivors = sorted(session.relays)
+        applied = sorted({s.node for s in last if s.name == "relay.apply"})
+        assert applied == survivors
+        assert "p0" not in applied
+        orphan_chain = chain_to_root(
+            tracer, [s for s in last if s.name == "relay.apply" and s.node == "p4"][0]
+        )
+        assert [s.name for s in orphan_chain] == [
+            "relay.apply",
+            "host.serve",
+            "host.generate",
+        ]
+        session.close()
+
+
+class TestExports:
+    def traced_spans(self):
+        tracer = Tracer()
+        root = tracer.start_span("host.generate", t=0.5, node="bob", doc_time=1)
+        root.finish(0.5)
+        serve = tracer.start_span(
+            "host.serve", t=0.75, parent=root, node="bob", kind="full", bytes=64
+        )
+        serve.finish(1.0)
+        tracer.start_span("snippet.apply", t=1.0, parent=serve, node="p0").finish(1.25)
+        return tracer
+
+    def test_jsonl_one_valid_object_per_span(self):
+        tracer = self.traced_spans()
+        lines = spans_to_jsonl(tracer).splitlines()
+        assert len(lines) == 3
+        rows = [json.loads(line) for line in lines]
+        assert rows[0]["name"] == "host.generate"
+        assert rows[0]["parent_id"] is None
+        assert rows[1]["parent_id"] == rows[0]["span_id"]
+        assert rows[2]["duration"] == 0.25
+        assert rows[1]["tags"] == {"kind": "full", "bytes": 64}
+
+    def test_write_jsonl_roundtrips_through_the_file(self, tmp_path):
+        tracer = self.traced_spans()
+        path = tmp_path / "spans.jsonl"
+        assert write_spans_jsonl(tracer, str(path)) == 3
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["name"] for row in rows] == [
+            "host.generate",
+            "host.serve",
+            "snippet.apply",
+        ]
+
+    def test_chrome_trace_document_shape(self):
+        document = chrome_trace(self.traced_spans())
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        # One named thread per pipeline node, all in one process.
+        assert {m["args"]["name"] for m in metadata} == {"bob", "p0"}
+        assert {e["pid"] for e in events} == {1}
+        serve = [e for e in complete if e["name"] == "host.serve"][0]
+        assert serve["ts"] == 750000.0
+        assert serve["dur"] == 250000.0
+        assert serve["cat"] == serve["args"]["trace_id"]
+        assert serve["args"]["parent_id"] is not None
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(self.traced_spans(), str(path)) == 3
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert sum(1 for e in document["traceEvents"] if e["ph"] == "X") == 3
+
+    def test_end_to_end_session_exports_cleanly(self, tmp_path):
+        tracer = Tracer()
+        sim, session, browsers = build_world(participants=4, tracer=tracer)
+        session.fanout_tree(branching=2)
+
+        def scenario():
+            yield from join_all(session, browsers)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+
+        run(sim, scenario())
+        jsonl_path = tmp_path / "session.jsonl"
+        chrome_path = tmp_path / "session.json"
+        count = write_spans_jsonl(tracer, str(jsonl_path))
+        assert count == len(tracer.spans) > 0
+        assert write_chrome_trace(tracer, str(chrome_path)) == count
+        document = json.loads(chrome_path.read_text())
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        # Every event of the session belongs to the single trace.
+        assert {e["cat"] for e in complete} == set(tracer.trace_ids())
+        session.close()

@@ -1,0 +1,103 @@
+"""The stats-hygiene lint that CI runs over the source tree.
+
+``benchmarks/check_stats_hygiene.py`` fails the build when any component
+pokes its stats dict directly (``self.stats["x"] += 1``) instead of
+going through the metrics-registry facade.  These tests pin down what
+counts as a violation — and that the shipped tree is clean.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "check_stats_hygiene.py",
+)
+_spec = importlib.util.spec_from_file_location("check_stats_hygiene", _SCRIPT)
+hygiene = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(hygiene)
+
+
+class TestScanSource:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            'self.stats["polls"] += 1',
+            'agent.stats["errors"] -= 2',
+            'self.stats["ratio"] *= 0.5',
+            'self.stats["last_sync"] = 0.25',
+            "self.stats[key] = value",
+            "self.stats.update({'polls': 3})",
+            "relay.stats . update(extra)",
+        ],
+    )
+    def test_direct_mutations_are_violations(self, line):
+        assert hygiene.scan_source(line) == [(1, line)]
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            'self.stats.inc("polls")',
+            'self.stats.set("last_sync", 0.25)',
+            'self.stats.observe("sync_seconds", waited)',
+            'if self.stats["polls"] == 3:',
+            'assert agent.stats["polls"] >= 1',
+            'count = snapshot.stats["polls"]',
+            "stats = dict(self.stats)",
+        ],
+    )
+    def test_facade_calls_and_reads_pass(self, line):
+        assert hygiene.scan_source(line) == []
+
+    def test_comments_are_skipped_and_lines_numbered(self):
+        text = "\n".join(
+            [
+                'self.stats.inc("polls")',
+                '# self.stats["polls"] += 1  (historical example)',
+                'self.stats["polls"] += 1',
+            ]
+        )
+        assert hygiene.scan_source(text) == [(3, 'self.stats["polls"] += 1')]
+
+
+class TestScanTree:
+    def test_reports_path_line_and_content(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "bad.py").write_text('def f(a):\n    a.stats["x"] += 1\n')
+        (package / "good.py").write_text('def f(a):\n    a.stats.inc("x")\n')
+        (package / "notes.txt").write_text('a.stats["x"] += 1\n')  # not python
+        records = hygiene.scan_tree(str(package))
+        assert len(records) == 1
+        assert records[0].endswith('bad.py:2: a.stats["x"] += 1')
+
+    def test_obs_subtree_is_exempt(self, tmp_path):
+        package = tmp_path / "pkg"
+        (package / "obs").mkdir(parents=True)
+        (package / "obs" / "registry.py").write_text('self.stats["x"] = 1\n')
+        assert hygiene.scan_tree(str(package)) == []
+
+
+class TestMain:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text('self.stats.inc("polls")\n')
+        assert hygiene.main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero_with_listing(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text('self.stats["polls"] += 1\n')
+        assert hygiene.main([str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "bad.py:1" in err
+        assert "stats.inc/set/observe" in err
+
+    def test_missing_root_exits_nonzero(self, tmp_path):
+        assert hygiene.main([str(tmp_path / "nope")]) == 1
+
+
+def test_shipped_source_tree_is_clean():
+    """The lint CI enforces: src/repro has no direct stats mutations."""
+    assert hygiene.scan_tree(hygiene.default_root()) == []
