@@ -1,0 +1,175 @@
+"""Health monitoring benchmark: SLO verdicts and the flight recorder.
+
+Two runs of the same relayed session (k=2 tree, host mutating once per
+sim-second):
+
+* **healthy** — every member keeps up; the SLO engine must report OK
+  across the board.
+* **injected relay death** — a tier-1 relay dies mid-run, its orphans
+  go stale while they back off and re-attach; the SLO engine must
+  produce a BREACH naming exactly those members, and the flight
+  recorder must hold a black box whose events share trace IDs with the
+  tracer's spans.
+
+The observability contract rides along: re-running the breach scenario
+with the EventBus/monitor/recorder disabled (tracer held constant) must
+carry *exactly* the same wire bytes — events and verdicts are
+process-local, never protocol.
+"""
+
+import json
+import os
+
+from repro.core import CoBrowsingSession
+from repro.metrics import render_health_summary
+from repro.obs import (
+    BREACH,
+    OK,
+    RELAY_DEATH,
+    EventBus,
+    FlightRecorder,
+    HealthMonitor,
+    Tracer,
+)
+from repro.workloads import build_lan
+
+from conftest import write_result
+
+N = 6
+BRANCHING = 2
+SITE = "msn.com"
+DURATION = 20
+FAIL_AT = 3
+
+
+def run_scenario(observed, fail_relay):
+    testbed = build_lan(participants=N)
+    sim = testbed.sim
+    tracer = Tracer()
+    events = EventBus() if observed else None
+    session = CoBrowsingSession(
+        testbed.host_browser, poll_interval=1.0, tracer=tracer, events=events
+    )
+    session.fanout_tree(branching=BRANCHING)
+    recorder = monitor = None
+    if observed:
+        recorder = FlightRecorder(events, registry=session.metrics, tracer=tracer)
+        monitor = HealthMonitor(session, recorder=recorder)
+    outcome = {"tracer": tracer, "recorder": recorder, "monitor": monitor}
+
+    def scenario():
+        for browser in testbed.participant_browsers:
+            yield from session.join(browser)
+        yield from session.host_navigate("http://%s/" % SITE)
+        yield from session.wait_until_synced(timeout=60)
+        if monitor is not None:
+            sim.process(monitor.run())
+        for tick in range(DURATION):
+            if fail_relay and tick == FAIL_AT:
+                victim = sorted(session.agent.participants)[0]
+                outcome["victim"] = victim
+                outcome["orphans"] = list(session._nodes[victim].children)
+                session.fail_relay(victim)
+            testbed.host_browser.mutate_document(
+                lambda document, tick=tick: document.document_element.set_attribute(
+                    "data-health-tick", str(tick)
+                )
+            )
+            yield sim.timeout(1.0)
+        if monitor is not None:
+            monitor.sample()
+            outcome["report"] = monitor.check()
+
+    testbed.run(scenario())
+    links = [testbed.host_browser.host.link] + [
+        browser.host.link for browser in testbed.participant_browsers
+    ]
+    outcome["wire_bytes"] = sum(
+        link.up.bytes_carried + link.down.bytes_carried for link in links
+    )
+    session.close()
+    return outcome
+
+
+def test_health_slo_and_flight_recorder(benchmark, results_dir):
+    def sweep():
+        return {
+            "healthy": run_scenario(observed=True, fail_relay=False),
+            "breach": run_scenario(observed=True, fail_relay=True),
+            "dark": run_scenario(observed=False, fail_relay=True),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    healthy, breach, dark = results["healthy"], results["breach"], results["dark"]
+
+    # Healthy run: OK across every rule and subject.
+    healthy_report = healthy["report"]
+    assert healthy_report.level == OK
+    assert healthy["monitor"].worst_level == OK
+
+    # Breach run: the orphaned members (and only session members) breach.
+    monitor = breach["monitor"]
+    assert monitor.worst_level == BREACH
+    breached = set()
+    for report_subject in _all_breached_subjects(monitor):
+        breached.add(report_subject)
+    assert breached & set(breach["orphans"])
+
+    # The flight recorder captured the incident: the injected relay.death
+    # triggered a dump whose events share trace IDs with real spans.
+    recorder = breach["recorder"]
+    assert recorder.dumps, "relay death must trigger a black box"
+    box = recorder.dumps[0]
+    assert any(
+        event["type"] == RELAY_DEATH for event in box["events"]
+    )
+    assert box["trace_ids"], "retained events must carry trace correlation"
+    span_traces = {span.trace_id for span in breach["tracer"].spans}
+    assert set(box["trace_ids"]) <= span_traces
+    assert box.get("spans"), "the box embeds the correlated spans"
+
+    # Observability is free when off: identical wire traffic either way.
+    assert breach["wire_bytes"] == dark["wire_bytes"]
+
+    lines = [
+        "Health/SLO benchmark (%s, LAN, N=%d, k=%d, %ds observed)"
+        % (SITE, N, BRANCHING, DURATION),
+        "healthy run: %s" % healthy_report.level,
+        "breach run:  worst=%s, victim=%s, orphans=%s, breached=%s"
+        % (
+            monitor.worst_level,
+            breach["victim"],
+            ",".join(breach["orphans"]),
+            ",".join(sorted(breached)),
+        ),
+        "flight recorder: %d dump(s), first reason %r, %d events, %d trace ids"
+        % (
+            len(recorder.dumps),
+            box["reason"],
+            len(box["events"]),
+            len(box["trace_ids"]),
+        ),
+        "wire bytes observed=%d dark=%d (must match)"
+        % (breach["wire_bytes"], dark["wire_bytes"]),
+        "",
+        render_health_summary(breach["report"], title="Breach-run final health"),
+    ]
+    write_result(results_dir, "health_summary.txt", "\n".join(lines))
+
+    with open(os.path.join(results_dir, "flight_recorder.json"), "w") as handle:
+        json.dump(box, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def _all_breached_subjects(monitor):
+    """Subjects the run ever drove into BREACH (hysteresis state keeps
+    them listed even after recovery clears the live verdict)."""
+    subjects = []
+    for (rule, subject), state in monitor._state.items():
+        del rule
+        if state[0]:
+            subjects.append(subject)
+    for verdict in monitor.last_report.breaches():
+        if verdict.subject not in subjects:
+            subjects.append(verdict.subject)
+    return subjects

@@ -16,6 +16,14 @@ Commands
     optionally export JSONL / Chrome trace-event files.
 ``metrics``
     Run a small instrumented session and dump the metrics registry.
+``health``
+    Run a monitored relayed session, evaluate the SLO rules, and print
+    the verdict table.  ``--fail-relay`` injects a mid-session relay
+    death; ``--check`` exits nonzero if any check BREACHed; ``--dump`` /
+    ``--dump-on-breach`` write the flight recorder's black box.
+``logs``
+    Run the same monitored session and print the structured event tail,
+    filterable by ``--type`` / ``--node``.
 """
 
 from __future__ import annotations
@@ -78,7 +86,60 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "metrics", help="run an instrumented session and dump the metrics registry"
     )
+
+    health = subparsers.add_parser(
+        "health", help="run a monitored session and print the SLO verdicts"
+    )
+    _add_monitored_session_args(health)
+    health.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any health check BREACHed during the run",
+    )
+    health.add_argument(
+        "--dump",
+        metavar="PATH",
+        help="always write the flight recorder's black box (JSON) to PATH",
+    )
+    health.add_argument(
+        "--dump-on-breach",
+        metavar="PATH",
+        help="write the black box to PATH only when the run BREACHed",
+    )
+
+    logs = subparsers.add_parser(
+        "logs", help="run a monitored session and print the structured event tail"
+    )
+    _add_monitored_session_args(logs)
+    logs.add_argument("--type", dest="event_type", help="only events of this type")
+    logs.add_argument("--node", help="only events from this component")
+    logs.add_argument(
+        "--limit", type=int, default=40, help="newest events to keep (default: 40)"
+    )
+    logs.add_argument(
+        "--json", action="store_true", help="print events as JSON lines instead of a table"
+    )
     return parser
+
+
+def _add_monitored_session_args(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--participants", type=int, default=6, help="session members (default: 6)"
+    )
+    command.add_argument(
+        "--branching", type=int, default=2, help="relay fan-out per node (default: 2)"
+    )
+    command.add_argument(
+        "--duration",
+        type=float,
+        default=20.0,
+        help="monitored sim-seconds after the first sync (default: 20)",
+    )
+    command.add_argument(
+        "--fail-relay",
+        action="store_true",
+        help="inject a relay death a few seconds into the run",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -96,6 +157,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _trace(args.participants, args.branching, args.jsonl, args.chrome)
     if args.command == "metrics":
         return _metrics()
+    if args.command == "health":
+        return _health(args)
+    if args.command == "logs":
+        return _logs(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -271,6 +336,14 @@ def _trace(
         yield from session.wait_until_synced()
 
     sim.run_until_complete(sim.process(scenario()))
+    if len(tracer) == 0:
+        print(
+            "repro trace: the session produced no spans "
+            "(no content was generated or served — try --participants >= 1)",
+            file=sys.stderr,
+        )
+        session.close()
+        return 1
     print(render_trace_summary(tracer))
     if jsonl_path:
         count = write_spans_jsonl(tracer, jsonl_path)
@@ -295,7 +368,121 @@ def _metrics() -> int:
         yield from session.wait_until_synced()
 
     sim.run_until_complete(sim.process(scenario()))
+    if not session.metrics.collect():
+        print(
+            "repro metrics: the session produced no metrics "
+            "(no instrument was ever registered)",
+            file=sys.stderr,
+        )
+        session.close()
+        return 1
     print(session.metrics.render("Session metrics"))
+    session.close()
+    return 0
+
+
+def _run_monitored_session(args):
+    """Run the health/logs scenario: a fanout session with the EventBus,
+    tracer, flight recorder, and SLO monitor attached; the host mutates
+    its document once per sim-second for ``--duration`` seconds, with an
+    optional injected relay death a few seconds in.
+
+    Returns ``(session, monitor, recorder)`` after the run completes.
+    """
+    from .core import CoBrowsingSession
+    from .obs import EventBus, FlightRecorder, HealthMonitor, Tracer
+
+    sim, host, guests = _build_traced_world(args.participants)
+    tracer = Tracer()
+    events = EventBus()
+    session = CoBrowsingSession(host, tracer=tracer, events=events)
+    session.fanout_tree(branching=args.branching)
+    recorder = FlightRecorder(events, registry=session.metrics, tracer=tracer)
+    monitor = HealthMonitor(session, recorder=recorder)
+
+    def scenario():
+        for guest in guests:
+            yield from session.join(guest)
+        yield from session.host_navigate("http://traced.example.com/")
+        yield from session.wait_until_synced()
+        sim.process(monitor.run())
+        fail_at = 3 if args.fail_relay else None
+        for tick in range(max(1, int(args.duration))):
+            if fail_at is not None and tick == fail_at:
+                victim = next(
+                    (rid for rid, r in session.relays.items() if r.participants),
+                    next(iter(session.relays), None),
+                )
+                if victim is not None:
+                    print("injecting relay death: %s" % victim)
+                    session.fail_relay(victim)
+            host.mutate_document(
+                lambda doc, tick=tick: setattr(
+                    doc.get_elements_by_tag_name("p")[0],
+                    "inner_html",
+                    "monitored state %d" % tick,
+                )
+            )
+            yield sim.timeout(1.0)
+        monitor.sample()
+        monitor.check()
+
+    sim.run_until_complete(sim.process(scenario()))
+    return session, monitor, recorder
+
+
+def _health(args) -> int:
+    from .metrics import render_health_summary
+
+    session, monitor, recorder = _run_monitored_session(args)
+    report = monitor.last_report
+    print(render_health_summary(report))
+    print("worst level during run: %s" % monitor.worst_level)
+    breached = monitor.worst_level == "BREACH"
+    if args.dump:
+        recorder.dump("on-demand", t=session.sim.now)
+        recorder.write_last(args.dump)
+        print("wrote black box to %s" % args.dump)
+    if args.dump_on_breach and breached:
+        if recorder.last_dump is None:
+            recorder.dump("slo-breach", t=session.sim.now)
+        recorder.write_last(args.dump_on_breach)
+        print("wrote breach black box to %s" % args.dump_on_breach)
+    session.close()
+    if args.check and breached:
+        return 1
+    return 0
+
+
+def _logs(args) -> int:
+    import json as _json
+
+    session, monitor, _recorder = _run_monitored_session(args)
+    events = session.events.events(
+        type=args.event_type, node=args.node or None, last=args.limit
+    )
+    if not events:
+        print("repro logs: no events matched the filters", file=sys.stderr)
+        session.close()
+        return 1
+    if args.json:
+        for event in events:
+            print(_json.dumps(event.to_dict(), sort_keys=True))
+    else:
+        print(
+            "%9s %-20s %-14s %-18s %s" % ("t (s)", "type", "node", "trace", "data")
+        )
+        for event in events:
+            print(
+                "%9.3f %-20s %-14s %-18s %s"
+                % (
+                    event.t,
+                    event.type,
+                    event.node,
+                    event.trace_id or "-",
+                    event.data or "",
+                )
+            )
     session.close()
     return 0
 

@@ -35,6 +35,12 @@ from ..http import Headers, HttpRequest, HttpResponse, html_response
 from ..http.server import serve_connection
 from ..net.socket import ListenSocket
 from ..obs import (
+    DELTA_FALLBACK,
+    HMAC_REJECT,
+    MEMBER_JOIN,
+    MEMBER_LEAVE,
+    POLL_SERVED,
+    EventBus,
     MetricsRegistry,
     SpanContext,
     StatsFacade,
@@ -114,6 +120,7 @@ class RCBAgent(BrowserExtension):
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         metrics_node: Optional[str] = None,
+        events: Optional[EventBus] = None,
     ):
         super().__init__()
         self.port = port
@@ -190,6 +197,9 @@ class RCBAgent(BrowserExtension):
         #: End-to-end tracer; None keeps the wire format byte-identical
         #: to the untraced protocol (no ``X-RCB-Trace`` header).
         self.tracer = tracer
+        #: Structured event bus; None (the default) disables the event
+        #: log entirely — events never touch the wire either way.
+        self.events = events
         #: Label distinguishing this agent's instruments when several
         #: agents (host + relays) share one registry.
         self.metrics_node = metrics_node
@@ -314,6 +324,17 @@ class RCBAgent(BrowserExtension):
         if self.metrics_node:
             return self.metrics_node
         return self.browser.name if self.browser is not None else "agent"
+
+    def _emit(self, event_type: str, trace=None, **data) -> None:
+        """Record a structured event on the bus, when one is attached."""
+        if self.events is not None:
+            self.events.emit(
+                event_type,
+                self.browser.sim.now,
+                node=self._node_name(),
+                trace=trace,
+                **data,
+            )
 
     def _remember_content_context(self, doc_time: int, context: SpanContext) -> None:
         """Record the span that produced ``doc_time``'s content.  First
@@ -473,9 +494,16 @@ class RCBAgent(BrowserExtension):
             self.stats.inc("content_responses")
             self.stats.inc("full_responses")
             self.stats.inc("full_bytes_sent", len(xml))
-            return self._xml(
-                xml, self._serve_span(arrived, participant_id, False, len(xml))
+            context = self._serve_span(arrived, participant_id, False, len(xml))
+            self._emit(
+                POLL_SERVED,
+                trace=context,
+                participant=participant_id,
+                kind="full",
+                bytes=len(xml),
+                doc_time=self._doc_time,
             )
+            return self._xml(xml, context)
         if self._doc_time > their_time and self.browser.page is not None:
             # Step 3: response sending, with new content — a delta
             # envelope when this participant's acknowledged state is
@@ -499,9 +527,16 @@ class RCBAgent(BrowserExtension):
                 )
             participant.content_responses += 1
             self.stats.inc("content_responses")
-            return self._xml(
-                xml, self._serve_span(arrived, participant_id, is_delta, len(xml))
+            context = self._serve_span(arrived, participant_id, is_delta, len(xml))
+            self._emit(
+                POLL_SERVED,
+                trace=context,
+                participant=participant_id,
+                kind="delta" if is_delta else "full",
+                bytes=len(xml),
+                doc_time=self._doc_time,
             )
+            return self._xml(xml, context)
         if outbound:
             participant.outbound_actions = []
             xml = self._action_only_envelope(outbound)
@@ -545,6 +580,9 @@ class RCBAgent(BrowserExtension):
         if state is None:
             state = ParticipantState(participant_id, self.browser.sim.now)
             self.participants[participant_id] = state
+            self._emit(
+                MEMBER_JOIN, participant=participant_id, members=len(self.participants)
+            )
             self.browser.observers.notify(TOPIC_ROSTER_CHANGED, self.roster())
             if self.announce_presence:
                 self.broadcast_action(PresenceAction(self.roster()))
@@ -558,6 +596,9 @@ class RCBAgent(BrowserExtension):
     def disconnect(self, participant_id: str) -> None:
         """Forget a participant and announce the roster change."""
         if self.participants.pop(participant_id, None) is not None:
+            self._emit(
+                MEMBER_LEAVE, participant=participant_id, members=len(self.participants)
+            )
             self.browser.observers.notify(TOPIC_ROSTER_CHANGED, self.roster())
             if self.announce_presence:
                 self.broadcast_action(PresenceAction(self.roster()))
@@ -672,6 +713,13 @@ class RCBAgent(BrowserExtension):
             new_tree = self._snapshot_tree(self._doc_time, mode_key)
             if old_tree is None or new_tree is None:
                 self.stats.inc("delta_fallbacks")
+                self._emit(
+                    DELTA_FALLBACK,
+                    participant=participant_id,
+                    reason="no-snapshot",
+                    base_time=their_time,
+                    doc_time=self._doc_time,
+                )
                 return full, False
             ops = diff_trees(old_tree, new_tree, metrics=self.metrics, node=self._node_name())
             ops_json = json.dumps(ops, separators=(",", ":"))
@@ -697,6 +745,15 @@ class RCBAgent(BrowserExtension):
         delta_xml = build_envelope(content)
         if len(delta_xml) >= len(full):
             self.stats.inc("delta_fallbacks")
+            self._emit(
+                DELTA_FALLBACK,
+                participant=participant_id,
+                reason="oversize",
+                base_time=their_time,
+                doc_time=self._doc_time,
+                delta_bytes=len(delta_xml),
+                full_bytes=len(full),
+            )
             return full, False
         self.stats.inc("delta_bytes_saved", len(full) - len(delta_xml))
         return delta_xml, True
@@ -821,5 +878,6 @@ class RCBAgent(BrowserExtension):
     def _authenticate(self, request: HttpRequest) -> bool:
         if not self._auth.verify(request.method, request.target, request.body):
             self.stats.inc("auth_failures")
+            self._emit(HMAC_REJECT, method=request.method, path=request.path)
             return False
         return True

@@ -306,7 +306,12 @@ def _diff_matched(old_node: Node, new_node: Node, sec: str, path: List[int], ops
 
 
 def apply_delta(
-    root: Element, ops: List[Dict], metrics=None, node: Optional[str] = None
+    root: Element,
+    ops: List[Dict],
+    metrics=None,
+    node: Optional[str] = None,
+    events=None,
+    t: Optional[float] = None,
 ) -> int:
     """Apply ``ops`` to a canonical tree in place; returns the op count.
 
@@ -317,18 +322,28 @@ def apply_delta(
 
     With ``metrics``, apply wall-time and op counts are published as
     ``delta_apply_seconds`` / ``delta_apply_ops``, labeled by ``node``.
+    With ``events`` (an :class:`~repro.obs.events.EventBus`) and ``t``
+    (the sim-time stamp), a failing op is recorded as a
+    ``delta.apply_failed`` event before the :class:`DeltaError` leaves
+    the engine — the black box then names the exact op that broke.
     """
     if not isinstance(ops, list):
-        raise DeltaError("ops must be a list")
+        raise _apply_failure(events, t, node, "ops must be a list", None)
     started = _time.perf_counter() if metrics is not None else 0.0
     applied = 0
     for op in ops:
         if not isinstance(op, dict):
-            raise DeltaError("op must be an object, got %r" % (op,))
+            raise _apply_failure(
+                events, t, node, "op must be an object, got %r" % (op,), op
+            )
         try:
             _apply_one(root, op)
         except (KeyError, TypeError, AttributeError) as exc:
-            raise DeltaError("malformed op %r: %s" % (op, exc))
+            raise _apply_failure(
+                events, t, node, "malformed op %r: %s" % (op, exc), op
+            )
+        except DeltaError as exc:
+            raise _apply_failure(events, t, node, str(exc), op)
         applied += 1
     if metrics is not None:
         labels = {"node": node} if node else {}
@@ -337,6 +352,23 @@ def apply_delta(
         )
         metrics.counter("delta_apply_ops", **labels).inc(applied)
     return applied
+
+
+def _apply_failure(events, t, node, message: str, op) -> DeltaError:
+    """Build the DeltaError for a failed apply, emitting the structured
+    ``delta.apply_failed`` event first when a bus is attached."""
+    if events is not None:
+        from ..obs.events import DELTA_APPLY_FAILED
+
+        data: Dict[str, object] = {"error": message}
+        if isinstance(op, dict):
+            data["op"] = op.get("op")
+            data["sec"] = op.get("sec")
+            data["path"] = op.get("path")
+        events.emit(
+            DELTA_APPLY_FAILED, t if t is not None else 0.0, node=node or "", **data
+        )
+    return DeltaError(message)
 
 
 def _apply_one(root: Element, op: Dict) -> None:

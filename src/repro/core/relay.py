@@ -52,7 +52,7 @@ from typing import Callable, List, Optional
 
 from ..http import RequestFailed
 from ..net.socket import NetworkError
-from ..obs import MetricsRegistry, Tracer
+from ..obs import RELAY_DEATH, RELAY_REATTACH, EventBus, MetricsRegistry, Tracer
 from ..sim import Interrupt
 from .actions import MouseMoveAction, ScrollAction, UserAction
 from .agent import AGENT_DEFAULT_PORT, RCBAgent
@@ -92,6 +92,7 @@ class RelayAgent(RCBAgent):
         on_reattach: Optional[Callable[["RelayAgent", str], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventBus] = None,
     ):
         super().__init__(
             port=port,
@@ -103,6 +104,7 @@ class RelayAgent(RCBAgent):
             metrics=metrics,
             tracer=tracer,
             metrics_node=relay_id,
+            events=events,
         )
         self.upstream_url = upstream_url
         #: This relay's participant id at its upstream (defaults to the
@@ -203,6 +205,7 @@ class RelayAgent(RCBAgent):
             backoff=self.poll_backoff,
             metrics=self.metrics,
             tracer=self.tracer,
+            events=self.events,
         )
         snippet.apply_span_name = "relay.apply"
         # Resuming mid-session: tell the upstream what we already have,
@@ -250,6 +253,7 @@ class RelayAgent(RCBAgent):
         if self._shutting_down or self.browser is None:
             return
         self.stats.inc("upstream_failures")
+        self._emit(RELAY_DEATH, reason="upstream-lost", upstream=self.upstream_url)
         dead = self.upstream
         if dead is not None:
             # Salvage actions the dead channel never delivered.
@@ -285,6 +289,7 @@ class RelayAgent(RCBAgent):
                     continue  # unreachable — try the next ancestor
                 self._adopt_snippet(snippet, url)
                 self.stats.inc("reattachments")
+                self._emit(RELAY_REATTACH, upstream=url, attempts=attempt)
                 if self.on_reattach is not None:
                     self.on_reattach(self, url)
                 return

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from ..browser.browser import Browser
-from ..obs import Histogram, MetricsRegistry, Tracer
+from ..obs import RELAY_DEATH, EventBus, Histogram, MetricsRegistry, Tracer
 from .agent import AGENT_DEFAULT_PORT, RCBAgent
 from .policy import ModerationPolicy
 from .relay import RelayAgent
@@ -84,6 +84,7 @@ class CoBrowsingSession:
         backoff: Optional[BackoffPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventBus] = None,
     ):
         self.host_browser = host_browser
         self.sim = host_browser.sim
@@ -98,13 +99,19 @@ class CoBrowsingSession:
                 metrics=metrics,
                 tracer=tracer,
                 metrics_node=host_browser.name,
+                events=events,
             )
-        elif tracer is not None and agent.tracer is None:
-            agent.tracer = tracer
+        else:
+            if tracer is not None and agent.tracer is None:
+                agent.tracer = tracer
+            if events is not None and agent.events is None:
+                agent.events = events
         self.agent = agent
-        #: The session-wide registry/tracer every member publishes into.
+        #: The session-wide registry/tracer/event-bus every member
+        #: publishes into.
         self.metrics = self.agent.metrics
         self.tracer = self.agent.tracer
+        self.events = self.agent.events
         self.agent.install(host_browser)
         self.participants: Dict[str, AjaxSnippet] = {}
         #: Fan-out mode: participant id -> its RelayAgent.
@@ -182,6 +189,7 @@ class CoBrowsingSession:
             backoff=self._derive_backoff(participant_id or participant_browser.name),
             metrics=self.metrics,
             tracer=self.tracer,
+            events=self.events,
         )
         yield from snippet.connect()
         if snippet.participant_id in self.participants:
@@ -221,6 +229,7 @@ class CoBrowsingSession:
             on_reattach=self._on_relay_reattach,
             metrics=self.metrics,
             tracer=self.tracer,
+            events=self.events,
         )
         relay.install(participant_browser)
         try:
@@ -316,6 +325,16 @@ class CoBrowsingSession:
         relay = self.relays.pop(participant_id, None)
         if relay is None:
             raise SessionError("no relay %r in this session" % participant_id)
+        if self.events is not None:
+            dead_node = self._nodes.get(participant_id)
+            self.events.emit(
+                RELAY_DEATH,
+                self.sim.now,
+                node=participant_id,
+                reason="injected",
+                children=len(relay.participants),
+                tier=dead_node.depth if dead_node is not None else None,
+            )
         self._update_membership_gauge()
         node = self._nodes.pop(participant_id, None)
         if node is not None and node.parent is not None:
@@ -372,6 +391,22 @@ class CoBrowsingSession:
         if isinstance(member, RelayAgent):
             return member.doc_time
         return member.last_doc_time
+
+    def member_times(self) -> Dict[str, int]:
+        """Every member's acknowledged timestamp (ms), by member id —
+        the raw staleness signal the SLO engine samples."""
+        times: Dict[str, int] = {
+            member_id: self._member_time(snippet)
+            for member_id, snippet in self.participants.items()
+        }
+        for member_id, relay in self.relays.items():
+            times[member_id] = self._member_time(relay)
+        return times
+
+    def member_tier(self, member_id: str) -> Optional[int]:
+        """The fan-out tier a member serves at (None when flat/unknown)."""
+        node = self._nodes.get(member_id)
+        return node.depth if node is not None else None
 
     def is_synced(
         self, snippet: Optional[Union[AjaxSnippet, RelayAgent]] = None

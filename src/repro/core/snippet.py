@@ -35,7 +35,7 @@ from ..browser.browser import Browser
 from ..http import RequestFailed
 from ..html import Element
 from ..net.url import parse_url
-from ..obs import MetricsRegistry, StatsFacade, Tracer
+from ..obs import RESYNC_FORCED, EventBus, MetricsRegistry, StatsFacade, Tracer
 from ..obs.trace import TRACE_HEADER, Span, SpanContext, parse_trace_header
 from ..sim import Interrupt
 from .actions import (
@@ -211,6 +211,7 @@ class AjaxSnippet:
         backoff: Optional[BackoffPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventBus] = None,
     ):
         if browser_type not in ("firefox", "ie"):
             raise ValueError("browser_type must be 'firefox' or 'ie'")
@@ -231,6 +232,8 @@ class AjaxSnippet:
 
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        #: Structured event bus; None disables the event log.
+        self.events = events
         #: Context of the last successful apply span — the parent a
         #: relay hands its own downstream re-serves (trace continuity
         #: across tiers).
@@ -457,6 +460,7 @@ class AjaxSnippet:
         sync_seconds = self.sim.now - poll_started
         span = self._start_apply_span(trace_header, "delta", content, sync_seconds)
         ok = False
+        reason = "base-mismatch"
         if content.base_time == self.last_doc_time:
             wall_started = time.perf_counter()
             try:
@@ -464,6 +468,7 @@ class AjaxSnippet:
                 ok = True
             except (DeltaError, ValueError):
                 ok = False
+                reason = "apply-failed"
             self.stats.last_update_seconds = time.perf_counter() - wall_started
         if not ok:
             if span is not None:
@@ -471,6 +476,16 @@ class AjaxSnippet:
                 span.finish(self.sim.now)
             self.stats.delta_failures += 1
             self.last_doc_time = 0  # force a full-envelope resync next poll
+            if self.events is not None:
+                self.events.emit(
+                    RESYNC_FORCED,
+                    self.sim.now,
+                    node=self.participant_id,
+                    trace=span.context if span is not None else parse_trace_header(trace_header),
+                    reason=reason,
+                    base_time=content.base_time,
+                    doc_time=content.doc_time,
+                )
             yield self.sim.timeout(0)
             return False
         self._apply_replicated_cookies(content)
@@ -502,7 +517,14 @@ class AjaxSnippet:
                 break
         try:
             ops = json.loads(content.delta_ops_json)
-            apply_delta(html, ops, metrics=self.metrics, node=self.participant_id)
+            apply_delta(
+                html,
+                ops,
+                metrics=self.metrics,
+                node=self.participant_id,
+                events=self.events,
+                t=self.sim.now,
+            )
         finally:
             if snippet_script is not None:
                 target_head = document.head

@@ -7,6 +7,7 @@ from .report import (
     render_delta_summary,
     render_figure_m1_m2,
     render_figure_m3_m4,
+    render_health_summary,
     render_relay_summary,
     render_shape_checks,
     render_table1,
@@ -23,6 +24,7 @@ __all__ = [
     "render_delta_summary",
     "render_figure_m1_m2",
     "render_figure_m3_m4",
+    "render_health_summary",
     "render_relay_summary",
     "render_shape_checks",
     "render_table1",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..core.session import CoBrowsingSession
-from ..obs import Histogram, MetricsRegistry, Tracer
+from ..obs import EventBus, Histogram, MetricsRegistry, Tracer
 from ..webserver.sites import TABLE1_SITES, SiteSpec
 from ..workloads.environments import build_lan, build_wan
 from .metrics import SiteMeasurement, average_measurements, measure_site_cobrowsing
@@ -73,12 +73,13 @@ def run_round(
     poll_interval: float = POLL_INTERVAL,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    events: Optional[EventBus] = None,
 ) -> List[SiteMeasurement]:
     """One round: fresh testbed, cleaned caches, visit every site once.
 
-    ``metrics``/``tracer`` are threaded into the session so an
+    ``metrics``/``tracer``/``events`` are threaded into the session so an
     experiment-level registry accumulates every round's instruments (and,
-    with a tracer, every poll exchange's spans).
+    with a tracer/bus, every poll exchange's spans and events).
     """
     if environment == "lan":
         testbed = build_lan()
@@ -94,6 +95,7 @@ def run_round(
         poll_interval=poll_interval,
         metrics=metrics,
         tracer=tracer,
+        events=events,
     )
     testbed.clear_caches()
 
@@ -120,6 +122,7 @@ def run_experiment(
     sites: Optional[Sequence[SiteSpec]] = None,
     poll_interval: float = POLL_INTERVAL,
     tracer: Optional[Tracer] = None,
+    events: Optional[EventBus] = None,
 ) -> ExperimentResult:
     """The full §5.1 procedure: ``repetitions`` rounds, averaged.
 
@@ -136,7 +139,13 @@ def run_experiment(
     per_site: Dict[str, List[SiteMeasurement]] = {spec.host: [] for spec in sites}
     for _ in range(repetitions):
         for row in run_round(
-            environment, cache_mode, sites, poll_interval, metrics=registry, tracer=tracer
+            environment,
+            cache_mode,
+            sites,
+            poll_interval,
+            metrics=registry,
+            tracer=tracer,
+            events=events,
         ):
             per_site[row.site].append(row)
             m5.observe(row.m5)

@@ -16,6 +16,7 @@ __all__ = [
     "render_delta_summary",
     "render_figure_m1_m2",
     "render_figure_m3_m4",
+    "render_health_summary",
     "render_relay_summary",
     "render_table1",
     "render_trace_summary",
@@ -232,6 +233,50 @@ def render_relay_summary(summary: Dict[str, object], title: str = "Relay fan-out
                     tier.get("sync_p99", 0.0),
                 )
             )
+    return "\n".join(lines)
+
+
+def render_health_summary(report, title: str = "Session health") -> str:
+    """One verdict table from a :class:`~repro.obs.health.HealthReport`:
+    every (rule, subject) row with its windowed value against the WARN /
+    BREACH thresholds, worst verdicts first, breached subjects named in
+    the footer."""
+    lines = [
+        "%s at t=%.3fs: %s (%d verdicts, %d breaching, %d warning)"
+        % (
+            title,
+            report.t,
+            report.level,
+            len(report.verdicts),
+            len(report.breaches()),
+            len(report.warnings()),
+        ),
+        "  %-7s %-22s %-14s %12s %12s %12s"
+        % ("level", "rule", "subject", "value", "warn", "breach"),
+    ]
+    severity = {"BREACH": 0, "WARN": 1, "OK": 2}
+    ordered = sorted(
+        report.verdicts,
+        key=lambda v: (severity.get(v.level, 3), v.rule, v.subject),
+    )
+    for verdict in ordered:
+        suffix = " (%s)" % verdict.detail if verdict.detail else ""
+        lines.append(
+            "  %-7s %-22s %-14s %12.3f %12.3f %12.3f%s%s"
+            % (
+                verdict.level,
+                verdict.rule,
+                verdict.subject,
+                verdict.value,
+                verdict.warn,
+                verdict.breach,
+                " " + verdict.unit if verdict.unit else "",
+                suffix,
+            )
+        )
+    breached = report.breached_subjects()
+    if breached:
+        lines.append("  BREACH affects: %s" % ", ".join(breached))
     return "\n".join(lines)
 
 

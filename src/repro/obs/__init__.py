@@ -1,13 +1,52 @@
-"""repro.obs — observability: tracing, the metrics registry, exporters.
+"""repro.obs — observability: tracing, metrics, events, health, exporters.
 
 The serving substrate every performance claim stands on: structured
 spans following content host → relays → participants in sim-time
 (:mod:`repro.obs.trace`), labeled counters/gauges/histograms replacing
-the old per-component stats dicts (:mod:`repro.obs.registry`), and
-JSONL / Chrome trace-event exports (:mod:`repro.obs.export`).
+the old per-component stats dicts (:mod:`repro.obs.registry`), a typed
+sim-time-stamped event log with per-component ring buffers
+(:mod:`repro.obs.events`), a black-box flight recorder correlating
+events + metrics + spans on triggering conditions
+(:mod:`repro.obs.recorder`), an SLO engine grading sessions OK / WARN /
+BREACH with hysteresis (:mod:`repro.obs.health`), and JSONL / Chrome
+trace-event exports (:mod:`repro.obs.export`).
 """
 
-from .export import chrome_trace, spans_to_jsonl, write_chrome_trace, write_spans_jsonl
+from .events import (
+    DELTA_APPLY_FAILED,
+    DELTA_FALLBACK,
+    HMAC_REJECT,
+    KNOWN_EVENT_TYPES,
+    MEMBER_JOIN,
+    MEMBER_LEAVE,
+    POLL_SERVED,
+    RELAY_DEATH,
+    RELAY_REATTACH,
+    RESYNC_FORCED,
+    SLO_BREACH,
+    SLO_RECOVER,
+    Event,
+    EventBus,
+)
+from .export import (
+    chrome_trace,
+    events_to_jsonl,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_spans_jsonl,
+)
+from .health import (
+    BREACH,
+    OK,
+    WARN,
+    HealthMonitor,
+    HealthReport,
+    SloRule,
+    Verdict,
+    default_rules,
+)
+from .recorder import FlightRecorder
 from .registry import (
     Counter,
     Gauge,
@@ -26,20 +65,45 @@ from .trace import (
 )
 
 __all__ = [
+    "BREACH",
     "Counter",
+    "DELTA_APPLY_FAILED",
+    "DELTA_FALLBACK",
+    "Event",
+    "EventBus",
+    "FlightRecorder",
     "Gauge",
+    "HMAC_REJECT",
+    "HealthMonitor",
+    "HealthReport",
     "Histogram",
+    "KNOWN_EVENT_TYPES",
+    "MEMBER_JOIN",
+    "MEMBER_LEAVE",
     "MetricsRegistry",
+    "OK",
+    "POLL_SERVED",
+    "RELAY_DEATH",
+    "RELAY_REATTACH",
+    "RESYNC_FORCED",
+    "SLO_BREACH",
+    "SLO_RECOVER",
+    "SloRule",
     "Span",
     "SpanContext",
     "StatsFacade",
     "TRACE_HEADER",
     "Tracer",
+    "Verdict",
+    "WARN",
     "chrome_trace",
+    "default_rules",
+    "events_to_jsonl",
     "format_trace_header",
     "parse_trace_header",
     "percentile",
     "spans_to_jsonl",
     "write_chrome_trace",
+    "write_events_jsonl",
     "write_spans_jsonl",
 ]

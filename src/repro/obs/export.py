@@ -1,10 +1,12 @@
-"""Span exporters: JSONL dumps and Chrome trace-event files.
+"""Span and event exporters: JSONL dumps and Chrome trace-event files.
 
-Two formats, two audiences:
+Formats and audiences:
 
-* **JSONL** — one :meth:`~repro.obs.trace.Span.to_dict` object per
+* **Span JSONL** — one :meth:`~repro.obs.trace.Span.to_dict` object per
   line; trivially greppable/`jq`-able, the format the nightly benchmark
   artifacts keep.
+* **Event JSONL** — one :meth:`~repro.obs.events.Event.to_dict` object
+  per line, in emission order; the persistent form of ``repro logs``.
 * **Chrome trace-event JSON** — loadable in ``chrome://tracing`` /
   Perfetto.  Each span becomes a complete ("X") event; pipeline nodes
   (host, relays, participants) map to named threads so a relayed
@@ -17,12 +19,15 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
+from .events import EventBus
 from .trace import Span, Tracer
 
 __all__ = [
     "chrome_trace",
+    "events_to_jsonl",
     "spans_to_jsonl",
     "write_chrome_trace",
+    "write_events_jsonl",
     "write_spans_jsonl",
 ]
 
@@ -46,6 +51,29 @@ def write_spans_jsonl(source, path: str) -> int:
         if text:
             handle.write(text + "\n")
     return len(spans)
+
+
+def _events(source) -> List:
+    if isinstance(source, EventBus):
+        return source.events()
+    return list(source)
+
+
+def events_to_jsonl(source) -> str:
+    """Serialize events (an EventBus or iterable) to JSON-lines text."""
+    return "\n".join(
+        json.dumps(event.to_dict(), sort_keys=True) for event in _events(source)
+    )
+
+
+def write_events_jsonl(source, path: str) -> int:
+    """Write the event JSONL dump to ``path``; returns the event count."""
+    events = _events(source)
+    with open(path, "w") as handle:
+        text = events_to_jsonl(events)
+        if text:
+            handle.write(text + "\n")
+    return len(events)
 
 
 def chrome_trace(source) -> Dict[str, object]:

@@ -1,0 +1,156 @@
+"""The black-box flight recorder: evidence that survives the incident.
+
+An aircraft flight recorder does not wait to be asked: it continuously
+retains the last N seconds of everything, and the wreckage is examined
+*after* the fact.  This module does the same for a co-browsing
+deployment.  A :class:`FlightRecorder` subscribes to the
+:class:`~repro.obs.events.EventBus` and continuously retains the most
+recent events; on a **triggering condition** it freezes a correlated
+JSON "black box":
+
+* the retained event tail (typed, sim-time-stamped records);
+* a full metrics-registry snapshot at dump time;
+* the spans of every trace referenced by a retained event (when a
+  tracer is attached), so the dump alone reconstructs *what happened*,
+  *how much it cost*, and *where the time went* for the same incident.
+
+Built-in triggers:
+
+* any event whose type is in ``trigger_types`` (default:
+  ``relay.death`` — the failure mode that silently degrades a tier);
+* **repeated resyncs** — ``resync_threshold`` ``resync.forced`` events
+  within ``resync_window`` sim-seconds (a resync storm means the delta
+  win is gone and something is corrupting participant state);
+* an explicit :meth:`trigger` call — the SLO engine invokes this on a
+  BREACH transition, and ``repro health --dump`` uses it on demand.
+
+Dumps are bounded (``max_dumps``) and rate-limited per reason
+(``min_dump_interval`` sim-seconds), so a flapping relay cannot fill a
+soak run's disk with identical black boxes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from .events import RELAY_DEATH, RESYNC_FORCED, Event, EventBus
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Continuously retains recent events; dumps a black box on triggers."""
+
+    def __init__(
+        self,
+        events: EventBus,
+        registry=None,
+        tracer=None,
+        capacity: int = 512,
+        trigger_types: Iterable[str] = (RELAY_DEATH,),
+        resync_threshold: int = 3,
+        resync_window: float = 10.0,
+        max_dumps: int = 16,
+        min_dump_interval: float = 1.0,
+    ):
+        self.events = events
+        self.registry = registry
+        self.tracer = tracer
+        self.trigger_types = frozenset(trigger_types)
+        self.resync_threshold = resync_threshold
+        self.resync_window = resync_window
+        self.max_dumps = max_dumps
+        self.min_dump_interval = min_dump_interval
+
+        #: The continuously-maintained tail, across all nodes.
+        self._tail: Deque[Event] = deque(maxlen=capacity)
+        self._resync_times: Deque[float] = deque()
+        #: reason -> sim-time of its last dump (rate limiting).
+        self._last_dump_at: Dict[str, float] = {}
+        #: Retained black boxes, oldest first.
+        self.dumps: List[Dict[str, object]] = []
+        events.subscribe(self._on_event)
+
+    # -- event intake ------------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        self._tail.append(event)
+        if event.type in self.trigger_types:
+            self.trigger("event:%s" % event.type, t=event.t)
+        if event.type == RESYNC_FORCED and self.resync_threshold > 0:
+            times = self._resync_times
+            times.append(event.t)
+            while times and times[0] < event.t - self.resync_window:
+                times.popleft()
+            if len(times) >= self.resync_threshold:
+                if self.trigger("repeated-resync", t=event.t) is not None:
+                    times.clear()
+
+    # -- dumping -----------------------------------------------------------------------
+
+    def snapshot(self, reason: str, t: Optional[float] = None) -> Dict[str, object]:
+        """Build (without retaining) the black-box document."""
+        events = sorted(self._tail, key=lambda event: event.seq)
+        trace_ids: List[str] = []
+        for event in events:
+            if event.trace_id is not None and event.trace_id not in trace_ids:
+                trace_ids.append(event.trace_id)
+        box: Dict[str, object] = {
+            "reason": reason,
+            "t": t if t is not None else (events[-1].t if events else 0.0),
+            "events": [event.to_dict() for event in events],
+            "trace_ids": trace_ids,
+        }
+        if self.registry is not None:
+            box["metrics"] = self.registry.snapshot()
+        if self.tracer is not None and trace_ids:
+            wanted = set(trace_ids)
+            box["spans"] = [
+                span.to_dict() for span in self.tracer.spans if span.trace_id in wanted
+            ]
+        return box
+
+    def trigger(self, reason: str, t: Optional[float] = None) -> Optional[Dict[str, object]]:
+        """Dump a black box for ``reason``, honouring rate limits.
+
+        Returns the dump, or None when suppressed (rate limit or the
+        ``max_dumps`` cap).
+        """
+        if len(self.dumps) >= self.max_dumps:
+            return None
+        stamp = t if t is not None else (self._tail[-1].t if self._tail else 0.0)
+        last = self._last_dump_at.get(reason)
+        if last is not None and stamp - last < self.min_dump_interval:
+            return None
+        self._last_dump_at[reason] = stamp
+        box = self.snapshot(reason, t=stamp)
+        self.dumps.append(box)
+        return box
+
+    def dump(self, reason: str = "on-demand", t: Optional[float] = None) -> Dict[str, object]:
+        """An unconditional dump (no rate limit, still capped)."""
+        box = self.snapshot(reason, t=t)
+        if len(self.dumps) < self.max_dumps:
+            self.dumps.append(box)
+        return box
+
+    @property
+    def last_dump(self) -> Optional[Dict[str, object]]:
+        return self.dumps[-1] if self.dumps else None
+
+    def write_last(self, path: str) -> bool:
+        """Write the most recent black box as JSON; False if none exist."""
+        if not self.dumps:
+            return False
+        with open(path, "w") as handle:
+            json.dump(self.dumps[-1], handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return True
+
+    def __repr__(self):
+        return "FlightRecorder(%d retained events, %d dumps)" % (
+            len(self._tail),
+            len(self.dumps),
+        )

@@ -150,7 +150,13 @@ class Histogram(_Instrument):
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's retained samples and totals in —
-        used to aggregate one relay tier's per-node sync distributions."""
+        used to aggregate one relay tier's per-node sync distributions.
+
+        Safe when ``other`` is empty, and when ``other is self`` — the
+        sample window is copied before appending, so merging never
+        mutates a deque mid-iteration.
+        """
+        incoming = list(other._samples)
         self.count += other.count
         self.sum += other.sum
         for bound in (other.min, other.max):
@@ -160,7 +166,7 @@ class Histogram(_Instrument):
                 self.min = bound
             if self.max is None or bound > self.max:
                 self.max = bound
-        for value in other._samples:
+        for value in incoming:
             self._samples.append(value)
 
     @property

@@ -123,3 +123,119 @@ class TestCommands:
         assert "agent_polls" in out
         assert "snippet_sync_seconds" in out
         assert "p95=" in out
+
+
+class TestHealthParser:
+    def test_health_defaults(self):
+        args = build_parser().parse_args(["health"])
+        assert (args.participants, args.branching) == (6, 2)
+        assert args.duration == 20.0
+        assert not args.fail_relay and not args.check
+        assert args.dump is None and args.dump_on_breach is None
+
+    def test_logs_defaults_and_filters(self):
+        args = build_parser().parse_args(["logs"])
+        assert args.limit == 40 and not args.json
+        args = build_parser().parse_args(
+            ["logs", "--type", "poll.served", "--node", "guest-1", "--json"]
+        )
+        assert args.event_type == "poll.served"
+        assert args.node == "guest-1"
+        assert args.json
+
+
+class TestHealthCommand:
+    def test_healthy_run_reports_ok_and_exits_zero(self, capsys):
+        assert main(["health", "--duration", "6", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "staleness_p95" in out
+        assert "worst level during run: OK" in out
+        assert "BREACH" not in out.replace("BREACH affects", "")
+
+    def test_relay_death_breaches_and_check_exits_nonzero(self, capsys):
+        assert main(["health", "--fail-relay", "--check", "--duration", "15"]) == 1
+        out = capsys.readouterr().out
+        assert "injecting relay death" in out
+        assert "BREACH affects:" in out
+        assert "worst level during run: BREACH" in out
+
+    def test_without_check_breach_still_exits_zero(self, capsys):
+        assert main(["health", "--fail-relay", "--duration", "15"]) == 0
+        assert "worst level during run: BREACH" in capsys.readouterr().out
+
+    def test_dump_writes_black_box(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "box.json"
+        assert main(["health", "--duration", "4", "--dump", str(path)]) == 0
+        assert "wrote black box" in capsys.readouterr().out
+        box = json.loads(path.read_text())
+        assert box["reason"] == "on-demand"
+        assert box["events"]
+        assert any(row["type"] == "poll.served" for row in box["events"])
+        assert box["trace_ids"]
+
+    def test_dump_on_breach_skipped_when_healthy(self, tmp_path, capsys):
+        path = tmp_path / "box.json"
+        assert (
+            main(["health", "--duration", "4", "--dump-on-breach", str(path)]) == 0
+        )
+        assert not path.exists()
+
+    def test_dump_on_breach_written_on_breach(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "box.json"
+        assert (
+            main(
+                [
+                    "health",
+                    "--fail-relay",
+                    "--duration",
+                    "15",
+                    "--dump-on-breach",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert "wrote breach black box" in capsys.readouterr().out
+        box = json.loads(path.read_text())
+        assert any(row["type"] == "relay.death" for row in box["events"])
+
+
+class TestLogsCommand:
+    def test_tail_prints_typed_events(self, capsys):
+        assert main(["logs", "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "type" in out and "node" in out
+        assert "poll.served" in out
+
+    def test_type_filter_with_json_lines(self, capsys):
+        import json
+
+        assert main(["logs", "--duration", "4", "--type", "member.join", "--json"]) == 0
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert rows
+        assert all(row["type"] == "member.join" for row in rows)
+
+    def test_no_matches_exits_nonzero(self, capsys):
+        assert main(["logs", "--duration", "4", "--type", "hmac.reject"]) == 1
+        assert "no events matched" in capsys.readouterr().err
+
+
+class TestEmptyRunExits:
+    def test_trace_with_no_spans_exits_nonzero(self, capsys):
+        assert main(["trace", "--participants", "0"]) == 1
+        assert "produced no spans" in capsys.readouterr().err
+
+    def test_metrics_with_empty_registry_exits_nonzero(self, monkeypatch, capsys):
+        from repro.obs import MetricsRegistry
+
+        monkeypatch.setattr(MetricsRegistry, "collect", lambda self: [])
+        assert main(["metrics"]) == 1
+        assert "produced no metrics" in capsys.readouterr().err

@@ -1,0 +1,309 @@
+"""The SLO engine: rules, hysteresis, and the breach acceptance path.
+
+Unit-tests the declarative machinery over a stub session (grading
+boundaries, breach→recovery hysteresis, transition events, recorder
+coupling, staleness windowing), then drives the headline acceptance
+scenario end to end: a fan-out session whose tier-1 relay is killed
+mid-run must produce a BREACH verdict naming the orphaned members, and
+the flight recorder's black box must share trace IDs with real spans.
+"""
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import CoBrowsingSession
+from repro.net import LAN_PROFILE, Host, Network
+from repro.obs import (
+    BREACH,
+    OK,
+    RELAY_DEATH,
+    SLO_BREACH,
+    SLO_RECOVER,
+    WARN,
+    EventBus,
+    FlightRecorder,
+    HealthMonitor,
+    HealthReport,
+    MetricsRegistry,
+    SloRule,
+    Tracer,
+    Verdict,
+    default_rules,
+)
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+
+class StubSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class StubAgent:
+    def __init__(self):
+        self.doc_time = 0
+
+
+class StubSession:
+    """The minimal session surface HealthMonitor samples."""
+
+    def __init__(self, events=None):
+        self.sim = StubSim()
+        self.metrics = MetricsRegistry()
+        self.events = events
+        self.agent = StubAgent()
+        self.branching = None
+        self.times = {}
+
+    def member_times(self):
+        return dict(self.times)
+
+
+def dial_rule(readings):
+    """A one-subject rule whose value is read from a mutable dict."""
+    return SloRule(
+        "dial", lambda monitor: dict(readings), warn=10.0, breach=20.0, unit="x"
+    )
+
+
+class TestSloRule:
+    def test_grade_boundaries(self):
+        rule = SloRule("r", lambda m: {}, warn=10.0, breach=20.0)
+        assert rule.grade(9.99) == OK
+        assert rule.grade(10.0) == WARN
+        assert rule.grade(19.99) == WARN
+        assert rule.grade(20.0) == BREACH
+
+    def test_breach_below_warn_rejected(self):
+        with pytest.raises(ValueError):
+            SloRule("r", lambda m: {}, warn=10.0, breach=5.0)
+
+    def test_default_rules_thresholds_are_tunable(self):
+        rules = {
+            rule.name: rule
+            for rule in default_rules(
+                staleness_warn_ms=400.0, staleness_breach_ms=750.0
+            )
+        }
+        assert rules["staleness_p95"].breach == 750.0
+        assert rules["staleness_p95"].grade(750.0) == BREACH
+
+    def test_lowered_breach_requires_lowered_warn(self):
+        with pytest.raises(ValueError):
+            default_rules(staleness_breach_ms=750.0)  # warn still 2500
+
+
+class TestReport:
+    def verdict(self, level, subject="alice", rule="staleness_p95"):
+        return Verdict(rule, subject, level, 1.0, 10.0, 20.0, "ms", 0.0)
+
+    def test_level_is_worst_verdict(self):
+        report = HealthReport(0.0, [self.verdict(OK), self.verdict(WARN)])
+        assert report.level == WARN
+        assert not report.ok
+        assert HealthReport(0.0, []).ok
+
+    def test_breached_subjects_dedup_across_rules(self):
+        report = HealthReport(
+            0.0,
+            [
+                self.verdict(BREACH, subject="carol"),
+                self.verdict(BREACH, subject="carol", rule="resync_rate"),
+                self.verdict(BREACH, subject="dave"),
+                self.verdict(WARN, subject="erin"),
+            ],
+        )
+        assert report.breached_subjects() == ["carol", "dave"]
+        assert len(report.breaches()) == 3
+        assert len(report.warnings()) == 1
+
+    def test_to_dict_shape(self):
+        verdict = Verdict("r", "s", WARN, 1.5, 1.0, 2.0, "ms", 3.0, detail="recovering")
+        row = verdict.to_dict()
+        assert row["detail"] == "recovering"
+        assert "detail" not in self.verdict(OK).to_dict()
+        report = HealthReport(3.0, [verdict])
+        assert report.to_dict()["level"] == WARN
+
+
+class TestHysteresis:
+    def monitor(self, readings, **kwargs):
+        session = StubSession(events=EventBus())
+        kwargs.setdefault("rules", [dial_rule(readings)])
+        return session, HealthMonitor(session, **kwargs)
+
+    def test_breach_holds_warn_until_consecutive_oks(self):
+        readings = {"alice": 25.0}
+        _session, monitor = self.monitor(readings, recovery_checks=2)
+        assert monitor.check().level == BREACH
+        readings["alice"] = 1.0  # raw OK, but the subject just breached
+        report = monitor.check()
+        assert report.level == WARN
+        assert report.verdicts[0].detail == "recovering"
+        # Second consecutive OK clears the latch.
+        assert monitor.check().level == OK
+        assert monitor.worst_level == BREACH  # the CI gate remembers
+
+    def test_warn_during_recovery_resets_the_streak(self):
+        readings = {"alice": 25.0}
+        _session, monitor = self.monitor(readings, recovery_checks=2)
+        monitor.check()
+        readings["alice"] = 1.0
+        assert monitor.check().level == WARN  # OK streak = 1
+        readings["alice"] = 15.0
+        assert monitor.check().level == WARN  # raw WARN resets the streak
+        readings["alice"] = 1.0
+        assert monitor.check().level == WARN  # OK streak = 1 again
+        assert monitor.check().level == OK
+
+    def test_transitions_emit_bus_events_and_fire_recorder(self):
+        readings = {"alice": 25.0}
+        session, monitor = self.monitor(readings, recovery_checks=1)
+        recorder = FlightRecorder(session.events, min_dump_interval=0.0)
+        monitor.recorder = recorder
+        monitor.check()
+        breaches = session.events.events(type=SLO_BREACH)
+        assert [event.node for event in breaches] == ["alice"]
+        assert breaches[0].data["rule"] == "dial"
+        assert breaches[0].data["value"] == 25.0
+        assert [box["reason"] for box in recorder.dumps] == ["slo-breach:dial@alice"]
+        # Staying breached is not a new transition.
+        monitor.check()
+        assert session.events.count(type=SLO_BREACH) == 1
+        # Recovery emits exactly one slo.recover.
+        readings["alice"] = 1.0
+        monitor.check()
+        recovers = session.events.events(type=SLO_RECOVER)
+        assert [event.node for event in recovers] == ["alice"]
+
+
+class TestStalenessSampling:
+    def test_window_prunes_and_p95_follows(self):
+        session = StubSession()
+        monitor = HealthMonitor(session, window=5.0, rules=[])
+        session.agent.doc_time = 1000
+        session.times = {"alice": 0}
+        session.sim.now = 1.0
+        monitor.sample()
+        assert monitor.staleness_p95("alice") == 1000.0
+        # The member catches up; old samples age out of the window.
+        session.times = {"alice": 1000}
+        for step in range(2, 9):
+            session.sim.now = float(step)
+            monitor.sample()
+        assert monitor.staleness_p95("alice") == 0.0
+        assert session.metrics.gauge("health_staleness_ms", node="alice").value == 0.0
+
+    def test_departed_member_ages_out(self):
+        session = StubSession()
+        monitor = HealthMonitor(session, window=2.0, rules=[])
+        session.times = {"alice": 0}
+        monitor.sample()
+        session.times = {}
+        session.sim.now = 5.0
+        monitor.sample()
+        assert monitor.staleness_p95("alice") == 0.0
+        assert "alice" not in monitor._staleness
+
+    def test_registry_fallback_without_bus(self):
+        # No EventBus anywhere: the resync-rate rule falls back to the
+        # registry's all-time counters and check() still grades.
+        session = StubSession(events=None)
+        monitor = HealthMonitor(session, rules=default_rules())
+        session.sim.now = 60.0
+        report = monitor.check()
+        assert report.level == OK
+        assert monitor.events is None
+
+
+PAGE = (
+    "<html><head><title>Health test</title></head>"
+    "<body><h1>News</h1><p id='tick'>start</p></body></html>"
+)
+
+
+def build_world(participants=6):
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page("/", PAGE)
+    OriginServer(network, "site.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    host_browser = Browser(host_pc, name="bob")
+    browsers = []
+    for index in range(participants):
+        pc = Host(network, "part-pc-%d" % index, LAN_PROFILE, segment="campus")
+        browsers.append(Browser(pc, name="p%d" % index))
+    return sim, host_browser, browsers
+
+
+class TestBreachAcceptance:
+    def test_relay_death_breaches_orphans_with_correlated_black_box(self):
+        sim, host_browser, browsers = build_world()
+        tracer = Tracer()
+        events = EventBus()
+        session = CoBrowsingSession(
+            host_browser, poll_interval=0.2, tracer=tracer, events=events
+        )
+        session.fanout_tree(branching=2)
+        recorder = FlightRecorder(events, registry=session.metrics, tracer=tracer)
+        monitor = HealthMonitor(
+            session,
+            rules=default_rules(staleness_warn_ms=500.0, staleness_breach_ms=1000.0),
+            window=10.0,
+            recorder=recorder,
+            sample_interval=0.1,
+        )
+
+        def scenario():
+            for browser in browsers:
+                yield from session.join(browser)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            sim.process(monitor.run())
+            orphans = list(session._nodes["p0"].children)
+            for tick in range(40):
+                if tick == 4:
+                    session.fail_relay("p0")
+                host_browser.mutate_document(
+                    lambda doc, tick=tick: setattr(
+                        doc.get_element_by_id("tick"), "inner_html", "tick %d" % tick
+                    )
+                )
+                yield sim.timeout(0.25)
+            monitor.sample()
+            monitor.check()
+            return orphans
+
+        orphans = sim.run_until_complete(sim.process(scenario()))
+        assert orphans == ["p2", "p4"]
+
+        # The run breached, and the verdicts named the orphaned members.
+        assert monitor.worst_level == BREACH
+        breached = {
+            event.node for event in events.events(type=SLO_BREACH)
+            if event.data["rule"] == "staleness_p95"
+        }
+        assert breached
+        assert breached <= set(orphans)
+
+        # The injected death hit the log attributed to the dead relay,
+        # and each orphan logged losing its upstream in its own ring.
+        deaths = events.events(type=RELAY_DEATH)
+        by_reason = {}
+        for event in deaths:
+            by_reason.setdefault(event.data["reason"], []).append(event.node)
+        assert by_reason["injected"] == ["p0"]
+        assert sorted(by_reason["upstream-lost"]) == orphans
+
+        # The black box is correlated: the relay-death dump exists and
+        # every trace it references is a real recorded trace.
+        assert recorder.dumps
+        box = recorder.dumps[0]
+        assert box["reason"] == "event:%s" % RELAY_DEATH
+        assert box["trace_ids"]
+        span_traces = {span.trace_id for span in tracer.spans}
+        assert set(box["trace_ids"]) <= span_traces
+        assert box["spans"]
+        assert any(row["name"] for row in box["metrics"])
+        session.close()

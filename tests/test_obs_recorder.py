@@ -1,0 +1,125 @@
+"""The flight recorder: triggers, rate limits, and black-box contents."""
+
+import json
+
+from repro.obs import (
+    HMAC_REJECT,
+    POLL_SERVED,
+    RELAY_DEATH,
+    RESYNC_FORCED,
+    EventBus,
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+)
+
+
+def build(events=None, **kwargs):
+    bus = events if events is not None else EventBus()
+    return bus, FlightRecorder(bus, **kwargs)
+
+
+class TestTriggers:
+    def test_relay_death_triggers_by_default(self):
+        bus, recorder = build()
+        bus.emit(POLL_SERVED, 1.0, node="agent")
+        bus.emit(RELAY_DEATH, 2.0, node="relay-1", reason="injected")
+        assert len(recorder.dumps) == 1
+        box = recorder.dumps[0]
+        assert box["reason"] == "event:%s" % RELAY_DEATH
+        assert box["t"] == 2.0
+        assert [row["type"] for row in box["events"]] == [POLL_SERVED, RELAY_DEATH]
+
+    def test_custom_trigger_types(self):
+        bus, recorder = build(trigger_types=(HMAC_REJECT,))
+        bus.emit(RELAY_DEATH, 1.0, node="relay-1")
+        assert recorder.dumps == []
+        bus.emit(HMAC_REJECT, 2.0, node="agent")
+        assert len(recorder.dumps) == 1
+
+    def test_repeated_resync_storm_triggers_once(self):
+        bus, recorder = build(resync_threshold=3, resync_window=10.0)
+        bus.emit(RESYNC_FORCED, 1.0, node="alice")
+        bus.emit(RESYNC_FORCED, 2.0, node="alice")
+        assert recorder.dumps == []
+        bus.emit(RESYNC_FORCED, 3.0, node="alice")
+        assert [box["reason"] for box in recorder.dumps] == ["repeated-resync"]
+        # The storm window was consumed; isolated follow-ups stay quiet.
+        bus.emit(RESYNC_FORCED, 4.0, node="alice")
+        assert len(recorder.dumps) == 1
+
+    def test_resyncs_outside_window_do_not_storm(self):
+        bus, recorder = build(resync_threshold=3, resync_window=5.0)
+        for t in (0.0, 10.0, 20.0, 30.0):
+            bus.emit(RESYNC_FORCED, t, node="alice")
+        assert recorder.dumps == []
+
+    def test_explicit_trigger_and_rate_limit(self):
+        _bus, recorder = build(min_dump_interval=1.0)
+        assert recorder.trigger("slo-breach:staleness@alice", t=5.0) is not None
+        # Same reason inside the interval: suppressed.
+        assert recorder.trigger("slo-breach:staleness@alice", t=5.5) is None
+        # A different reason has its own limiter.
+        assert recorder.trigger("slo-breach:staleness@carol", t=5.5) is not None
+        # Same reason after the interval passes: allowed again.
+        assert recorder.trigger("slo-breach:staleness@alice", t=6.5) is not None
+        assert len(recorder.dumps) == 3
+
+    def test_max_dumps_caps_retention(self):
+        bus, recorder = build(max_dumps=2, min_dump_interval=0.0)
+        for tick in range(5):
+            bus.emit(RELAY_DEATH, float(tick), node="relay-%d" % tick)
+        assert len(recorder.dumps) == 2
+
+
+class TestBlackBox:
+    def test_tail_capacity_bounds_events(self):
+        bus, recorder = build(capacity=4)
+        for tick in range(10):
+            bus.emit(POLL_SERVED, float(tick), node="agent")
+        box = recorder.dump("on-demand")
+        assert len(box["events"]) == 4
+        assert box["events"][0]["t"] == 6.0
+
+    def test_box_correlates_metrics_and_spans(self):
+        registry = MetricsRegistry()
+        registry.counter("polls").inc(3)
+        tracer = Tracer()
+        in_box = tracer.start_span("poll", t=1.0, node="agent")
+        unrelated = tracer.start_span("other", t=2.0, node="agent")
+        bus = EventBus()
+        recorder = FlightRecorder(bus, registry=registry, tracer=tracer)
+        bus.emit(POLL_SERVED, 1.0, node="agent", trace=in_box)
+        box = recorder.dump("on-demand", t=1.5)
+        assert box["trace_ids"] == [in_box.trace_id]
+        assert {row["name"] for row in registry.snapshot()} == {
+            row["name"] for row in box["metrics"]
+        }
+        span_ids = {row["span_id"] for row in box["spans"]}
+        assert in_box.span_id in span_ids
+        assert unrelated.span_id not in span_ids
+
+    def test_box_without_traces_has_no_span_section(self):
+        bus, recorder = build()
+        bus.emit(POLL_SERVED, 1.0, node="agent")
+        box = recorder.dump("on-demand")
+        assert box["trace_ids"] == []
+        assert "spans" not in box
+        assert "metrics" not in box  # no registry attached
+
+    def test_write_last_round_trips_json(self, tmp_path):
+        bus, recorder = build()
+        path = tmp_path / "box.json"
+        assert recorder.write_last(str(path)) is False
+        bus.emit(RELAY_DEATH, 3.0, node="relay-1", reason="injected")
+        assert recorder.write_last(str(path)) is True
+        box = json.loads(path.read_text())
+        assert box["reason"] == "event:%s" % RELAY_DEATH
+        assert box["events"][0]["data"] == {"reason": "injected"}
+
+    def test_last_dump_tracks_newest(self):
+        bus, recorder = build(min_dump_interval=0.0)
+        assert recorder.last_dump is None
+        bus.emit(RELAY_DEATH, 1.0, node="a")
+        bus.emit(RELAY_DEATH, 9.0, node="b")
+        assert recorder.last_dump["t"] == 9.0

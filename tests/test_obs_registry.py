@@ -221,3 +221,99 @@ class TestStatsFacade:
         second = StatsFacade(registry, prefix="s_", labels={"node": "r1"}, histograms=("sync",))
         second.observe("sync", 2.0)
         assert second.histogram("sync").count == 2
+
+
+class TestHistogramEdgeCases:
+    """Percentile and merge corners that bit real report code."""
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = MetricsRegistry().histogram("lat")
+        histogram.observe(0.42)
+        assert histogram.p50 == 0.42
+        assert histogram.p95 == 0.42
+        assert histogram.p99 == 0.42
+
+    def test_empty_histogram_is_all_zeros(self):
+        histogram = MetricsRegistry().histogram("lat")
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.p95 == 0.0
+        assert histogram.values == []
+
+    def test_merge_of_empty_is_a_noop(self):
+        a = Histogram("lat", ())
+        a.observe(1.0)
+        before = (a.count, a.sum, a.min, a.max, a.values)
+        a.merge(Histogram("lat", ()))
+        assert (a.count, a.sum, a.min, a.max, a.values) == before
+
+    def test_merge_into_empty_adopts_extremes(self):
+        a = Histogram("lat", ())
+        b = Histogram("lat", ())
+        b.observe(2.0)
+        b.observe(8.0)
+        a.merge(b)
+        assert (a.count, a.min, a.max) == (2, 2.0, 8.0)
+        assert a.p50 == 2.0
+
+    def test_self_merge_does_not_loop(self):
+        # Regression: merging a histogram into itself used to iterate
+        # the deque it was appending to.
+        a = Histogram("lat", ())
+        a.observe(1.0)
+        a.observe(3.0)
+        a.merge(a)
+        assert a.count == 4
+        assert a.sum == pytest.approx(8.0)
+        assert sorted(a.values) == [1.0, 1.0, 3.0, 3.0]
+
+    def test_merged_aggregate_keeps_registry_identity(self):
+        # The relay-summary pattern: per-node histograms merged into a
+        # get-or-create aggregate; the (name, labels) key stays one
+        # instrument no matter how many merges fold into it.
+        registry = MetricsRegistry()
+        registry.histogram("sync", node="a").observe(1.0)
+        registry.histogram("sync", node="b").observe(3.0)
+        aggregate = registry.histogram("sync_tier", tier="1")
+        for source in registry.histograms_named("sync"):
+            aggregate.merge(source)
+        again = registry.histogram("sync_tier", tier="1")
+        assert again is aggregate
+        assert again.count == 2
+        assert registry.find("sync_tier", tier="1") is aggregate
+
+
+class TestStatsFacadeMapping:
+    """The facade must be indistinguishable from the dict it replaced."""
+
+    def build(self):
+        registry = MetricsRegistry()
+        facade = StatsFacade(
+            registry,
+            prefix="agent_",
+            labels={"node": "bob"},
+            counters=("polls",),
+            gauges=("last_seconds",),
+        )
+        return registry, facade
+
+    def test_equality_with_plain_dicts(self):
+        _registry, facade = self.build()
+        facade.inc("polls", 2)
+        facade.set("last_seconds", 0.5)
+        assert facade == {"polls": 2, "last_seconds": 0.5}
+        assert facade != {"polls": 2, "last_seconds": 0.6}
+        assert facade != {"polls": 2}
+
+    def test_get_with_defaults(self):
+        _registry, facade = self.build()
+        assert facade.get("polls") == 0
+        assert facade.get("absent") is None
+        assert facade.get("absent", 7) == 7
+
+    def test_iteration_matches_len_and_keys(self):
+        _registry, facade = self.build()
+        assert len(list(facade)) == len(facade) == 2
+        assert set(facade.keys()) == {"polls", "last_seconds"}
+        assert sorted(facade.items()) == [("last_seconds", 0.0), ("polls", 0)]
+        assert 0 in list(facade.values())
