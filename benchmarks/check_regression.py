@@ -58,23 +58,54 @@ def check(baseline_ops: float, current_ops: float, threshold: float) -> str:
     return verdict
 
 
+def check_floor(current_ops: float, floor: float) -> str:
+    """Verdict for an absolute operations/s floor; raise on a breach."""
+    if current_ops < floor:
+        raise GuardError(
+            "throughput %.1f operations/s is below the floor of %.1f"
+            % (current_ops, floor)
+        )
+    return "throughput %.1f operations/s >= floor %.1f: OK" % (current_ops, floor)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed harness_throughput rendering")
-    parser.add_argument("current", help="freshly measured rendering")
+    parser.add_argument(
+        "baseline",
+        help="committed throughput rendering (with --floor and no CURRENT, "
+        "the single file checked against the absolute floor)",
+    )
+    parser.add_argument(
+        "current", nargs="?", default=None, help="freshly measured rendering"
+    )
     parser.add_argument(
         "--threshold",
         type=float,
         default=0.25,
         help="maximum tolerated fractional slowdown (default 0.25)",
     )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        help="absolute minimum operations/s the measured rendering must "
+        "clear (checked on CURRENT, or on the single file when CURRENT "
+        "is omitted)",
+    )
     args = parser.parse_args(argv)
+    if args.current is None and args.floor is None:
+        parser.error("a CURRENT file or --floor is required")
     try:
         with open(args.baseline) as handle:
             baseline_ops = parse_throughput(handle.read())
-        with open(args.current) as handle:
-            current_ops = parse_throughput(handle.read())
-        print(check(baseline_ops, current_ops, args.threshold))
+        if args.current is not None:
+            with open(args.current) as handle:
+                current_ops = parse_throughput(handle.read())
+            print(check(baseline_ops, current_ops, args.threshold))
+        else:
+            current_ops = baseline_ops
+        if args.floor is not None:
+            print(check_floor(current_ops, args.floor))
     except (OSError, GuardError) as exc:
         print("benchmark regression guard: %s" % exc, file=sys.stderr)
         return 1

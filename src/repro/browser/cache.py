@@ -54,6 +54,11 @@ class BrowserCache:
         self.evictions = 0
         self.hit_count = 0
         self.miss_count = 0
+        #: Bumped on every content change (store/remove/clear/evict).
+        #: Incremental content generation fingerprints this: reusing a
+        #: rewritten clone is only sound while the set of cached objects
+        #: is exactly what it was when the clone's URLs were rewritten.
+        self.revision = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,6 +84,7 @@ class BrowserCache:
         entry = CacheEntry(url, url, content_type, data, now)
         self._entries[url] = entry
         self.current_bytes += entry.size
+        self.revision += 1
         self._evict()
         return entry
 
@@ -102,9 +108,12 @@ class BrowserCache:
         entry = self._entries.pop(key, None)
         if entry is not None:
             self.current_bytes -= entry.size
+            self.revision += 1
 
     def clear(self) -> None:
         """Evict everything."""
+        if self._entries:
+            self.revision += 1
         self._entries.clear()
         self.current_bytes = 0
 
@@ -117,6 +126,7 @@ class BrowserCache:
             _key, entry = self._entries.popitem(last=False)
             self.current_bytes -= entry.size
             self.evictions += 1
+            self.revision += 1
 
 
 class CacheReadSession:
@@ -124,6 +134,16 @@ class CacheReadSession:
 
     def __init__(self, cache: BrowserCache):
         self._cache = cache
+
+    @property
+    def backing(self) -> BrowserCache:
+        """The cache this session reads (identity for fingerprinting)."""
+        return self._cache
+
+    @property
+    def revision(self) -> int:
+        """The backing cache's content revision."""
+        return self._cache.revision
 
     def contains(self, key: str) -> bool:
         """Whether the cache holds ``key``."""

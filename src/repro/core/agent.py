@@ -177,8 +177,17 @@ class RCBAgent(BrowserExtension):
         #: Generated envelopes per cache-mode key, for the current
         #: document state only.
         self._generated_xml: Dict[str, str] = {}
+        #: The same envelopes pre-split around the userActions section,
+        #: so per-participant action splicing is O(actions) instead of
+        #: re-scanning the page-sized XML text.
+        self._generated_split: Dict[str, tuple] = {}
         self._generated_for_time = -1
         self._generation_count = 0
+        #: Stable rewrite callables per (mode key, page URL, auth
+        #: state).  The generator's incremental reuse fence fingerprints
+        #: ``sign_target``/``should_cache`` by identity — fresh closures
+        #: on every call would force a full rebuild every time.
+        self._mode_callables: "OrderedDict[tuple, tuple]" = OrderedDict()
         #: Snapshot ring: doc_time -> cache-mode key -> canonical content
         #: tree (repro.core.delta), for the last ``delta_history``
         #: generated document states.
@@ -226,8 +235,14 @@ class RCBAgent(BrowserExtension):
                 "delta_bytes_sent",
                 "full_bytes_sent",
                 "delta_bytes_saved",
+                "incremental_generations",
+                "full_generations",
+                "segments_reused",
+                "segments_total",
+                "dirty_subtrees",
+                "urlcache_hits",
             ),
-            gauges=("last_generation_seconds",),
+            gauges=("last_generation_seconds", "generation_reuse_ratio"),
             histograms=("generation_seconds",),
         )
         #: Trace context per generated document state: serve spans for a
@@ -615,6 +630,7 @@ class RCBAgent(BrowserExtension):
         """
         if self._generated_for_time != self._doc_time:
             self._generated_xml = {}
+            self._generated_split = {}
             self._delta_memo = {}
             self._generated_for_time = self._doc_time
         mode_key = self.cache_policy.mode_key(participant_id)
@@ -622,18 +638,10 @@ class RCBAgent(BrowserExtension):
         if cached is not None:
             return cached
         page = self.browser.page
-        sign_target = None
-        if self._auth.enabled:
-            auth = self._auth
-            sign_target = lambda target: auth.sign("GET", target)
-        policy = self.cache_policy
         page_url = str(page.url)
-
-        def should_cache(object_url, content_type, size):
-            return policy.use_cache_for(
-                participant_id, page_url, object_url, content_type, size
-            )
-
+        sign_target, should_cache = self._rewrite_callables(
+            mode_key, page_url, participant_id
+        )
         cookies_json = "[]"
         if self.replicate_cookies:
             cookies = self.browser.cookie_jar.cookies_for(page.url.host, page.url.path or "/")
@@ -648,17 +656,30 @@ class RCBAgent(BrowserExtension):
             page.url,
             doc_time=self._doc_time,
             cache_session=self.browser.cache.open_read_session(),
-            cache_mode=policy.ever_uses_cache,
+            cache_mode=self.cache_policy.ever_uses_cache,
             user_actions_json="[]",
             sign_target=sign_target,
             should_cache=should_cache,
             cookies_json=cookies_json,
+            mode_key=mode_key,
+            build_canonical=self.enable_delta,
         )
         self._object_map.update(generated.object_map)
         self._generated_xml[mode_key] = generated.xml_text
+        split = self._split_envelope(generated.xml_text)
+        if split is not None:
+            self._generated_split[mode_key] = split
         self._generation_count += 1
         self.stats.set("last_generation_seconds", generated.generation_seconds)
         self.stats.observe("generation_seconds", generated.generation_seconds)
+        self.stats.inc(
+            "incremental_generations" if generated.mode == "incremental" else "full_generations"
+        )
+        self.stats.inc("segments_reused", generated.segments_reused)
+        self.stats.inc("segments_total", generated.segments_total)
+        self.stats.inc("dirty_subtrees", generated.dirty_subtrees)
+        self.stats.inc("urlcache_hits", generated.urlcache_hits)
+        self.stats.set("generation_reuse_ratio", generated.reuse_ratio)
         if self.tracer is not None:
             now = self.browser.sim.now
             span = self.tracer.start_span(
@@ -671,24 +692,66 @@ class RCBAgent(BrowserExtension):
                 bytes=len(generated.xml_text),
                 wall_seconds=generated.generation_seconds,
                 urls_rewritten=generated.urls_rewritten,
+                generation_mode=generated.mode,
+                segments_reused=generated.segments_reused,
+                dirty_subtrees=generated.dirty_subtrees,
             )
             span.finish(now)
             self._remember_content_context(self._doc_time, span.context)
         if self.enable_delta:
-            self._store_snapshot(self._doc_time, mode_key, generated.content)
+            self._store_snapshot(
+                self._doc_time, mode_key, generated.content, tree=generated.canonical_root
+            )
         return generated.xml_text
+
+    def _rewrite_callables(self, mode_key: str, page_url: str, participant_id: str):
+        """Stable ``(sign_target, should_cache)`` for a mode group.
+
+        Cached per (mode key, page URL, auth state) so repeated
+        generations hand the generator *identical* callable objects —
+        the identity fence that lets it reuse the previous rewritten
+        clone.  A mode key groups participants whose cache-policy
+        decisions coincide, so the first member's id is representative
+        for the whole group.
+        """
+        key = (mode_key, page_url, self._auth.enabled)
+        pair = self._mode_callables.get(key)
+        if pair is not None:
+            self._mode_callables.move_to_end(key)
+            return pair
+        sign_target = None
+        if self._auth.enabled:
+            auth = self._auth
+            sign_target = lambda target: auth.sign("GET", target)
+        policy = self.cache_policy
+
+        def should_cache(object_url, content_type, size):
+            return policy.use_cache_for(
+                participant_id, page_url, object_url, content_type, size
+            )
+
+        pair = self._mode_callables[key] = (sign_target, should_cache)
+        while len(self._mode_callables) > 16:
+            self._mode_callables.popitem(last=False)
+        return pair
 
     # -- delta envelopes ---------------------------------------------------------------
 
-    def _store_snapshot(self, doc_time: int, mode_key: str, content) -> None:
-        """Retain the canonical tree of a generated state in the ring."""
+    def _store_snapshot(self, doc_time: int, mode_key: str, content, tree=None) -> None:
+        """Retain the canonical tree of a generated state in the ring.
+
+        ``tree`` is the generator's incrementally-built canonical tree
+        (shares unchanged node objects with the previous snapshot, which
+        is what lets the diff skip them by identity); without one the
+        content is re-parsed from scratch.
+        """
         per_mode = self._snapshots.get(doc_time)
         if per_mode is None:
             while len(self._snapshots) >= max(1, self.delta_history):
                 self._snapshots.popitem(last=False)
             per_mode = self._snapshots[doc_time] = {}
         if mode_key not in per_mode:
-            per_mode[mode_key] = content_tree(content)
+            per_mode[mode_key] = tree if tree is not None else content_tree(content)
 
     def _snapshot_tree(self, doc_time: int, mode_key: str):
         per_mode = self._snapshots.get(doc_time)
@@ -768,24 +831,52 @@ class RCBAgent(BrowserExtension):
         xml = self._ensure_generated(participant_id)
         if not actions:
             return xml
-        return self._splice_actions(xml, actions)
+        mode_key = self.cache_policy.mode_key(participant_id)
+        split = self._generated_split.get(mode_key)
+        if split is None:
+            return self._splice_actions(xml, actions)
+        # Cached split: splicing costs O(actions), not a scan of the
+        # page-sized envelope per participant.
+        prefix, suffix = split
+        return (
+            prefix
+            + "<userActions><![CDATA["
+            + js_escape(encode_actions(actions))
+            + "]]></userActions>"
+            + suffix
+        )
 
     def _action_only_envelope(self, actions: List[UserAction]) -> str:
         content = NewContent(self._doc_time, [], [], encode_actions(actions))
         return build_envelope(content)
 
     @staticmethod
+    def _split_envelope(xml: str):
+        """``(prefix, suffix)`` around the userActions section, or None
+        when the envelope has no such section."""
+        start = xml.find("<userActions>")
+        if start == -1:
+            return None
+        end = xml.find("</userActions>", start)
+        if end == -1:
+            return None
+        return xml[:start], xml[end + len("</userActions>"):]
+
+    @staticmethod
     def _splice_actions(xml: str, actions: List[UserAction]) -> str:
-        marker = "<userActions>"
-        index = xml.find(marker)
-        if index == -1:
+        split = RCBAgent._split_envelope(xml)
+        if split is None:
             return xml
-        prefix = xml[:index]
+        prefix, suffix = split
+        # The suffix keeps every section after userActions — previously
+        # the splice truncated to </newContent>, silently dropping a
+        # docCookies section.
         return (
             prefix
             + "<userActions><![CDATA["
             + js_escape(encode_actions(actions))
-            + "]]></userActions></newContent>"
+            + "]]></userActions>"
+            + suffix
         )
 
     # -- action moderation and application -----------------------------------------------------

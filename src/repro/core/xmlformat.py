@@ -53,6 +53,13 @@ __all__ = [
     "HeadChild",
     "TopElement",
     "build_envelope",
+    "head_child_payload",
+    "top_element_payload",
+    "payload_encode",
+    "head_child_prefix",
+    "top_element_prefix",
+    "PAYLOAD_SUFFIX",
+    "assemble_envelope",
     "parse_envelope",
     "js_escape",
     "js_unescape",
@@ -69,27 +76,38 @@ class EnvelopeError(Exception):
     """Malformed envelope."""
 
 
+class _JsEscapeTable(dict):
+    """``str.translate`` table computing escapes lazily, memoized per
+    code point (the working set is the page's alphabet, not Unicode)."""
+
+    def __missing__(self, code: int) -> str:
+        char = chr(code)
+        if char in _JS_SAFE:
+            result = char
+        elif code < 256:
+            result = "%%%02X" % code
+        elif code <= 0xFFFF:
+            result = "%%u%04X" % code
+        else:
+            offset = code - 0x10000
+            result = "%%u%04X%%u%04X" % (
+                0xD800 + (offset >> 10),
+                0xDC00 + (offset & 0x3FF),
+            )
+        self[code] = result
+        return result
+
+
+_JS_ESCAPE_TABLE = _JsEscapeTable()
+
+
 def js_escape(text: str) -> str:
     """JavaScript ``escape()``: %XX below 256, %uXXXX above.
 
     Like the real function, operates on UTF-16 code units: astral-plane
     characters are emitted as a surrogate pair of %uXXXX escapes.
     """
-    out = []
-    for char in text:
-        if char in _JS_SAFE:
-            out.append(char)
-            continue
-        code = ord(char)
-        if code < 256:
-            out.append("%%%02X" % code)
-        elif code <= 0xFFFF:
-            out.append("%%u%04X" % code)
-        else:
-            offset = code - 0x10000
-            out.append("%%u%04X" % (0xD800 + (offset >> 10)))
-            out.append("%%u%04X" % (0xDC00 + (offset & 0x3FF)))
-    return "".join(out)
+    return text.translate(_JS_ESCAPE_TABLE)
 
 
 def js_unescape(text: str) -> str:
@@ -254,31 +272,110 @@ _TOP_TAG_NAMES = {"body": "docBody", "frameset": "docFrameSet", "noframes": "doc
 _TOP_NAME_TAGS = {v: k for k, v in _TOP_TAG_NAMES.items()}
 
 
+def head_child_payload(child: HeadChild) -> str:
+    """The escaped CDATA payload of one head child (index-independent,
+    so the incremental generator can cache it across positions)."""
+    return js_escape(
+        json.dumps({"tag": child.tag, "attrs": child.attributes, "inner": child.inner_html})
+    )
+
+
+def top_element_payload(top: TopElement) -> str:
+    """The escaped CDATA payload of one top element."""
+    return js_escape(json.dumps({"attrs": top.attributes, "inner": top.inner_html}))
+
+
+# -- spliced payload construction ---------------------------------------------------
+#
+# A payload is js_escape(json.dumps({..., "inner": inner})) with "inner"
+# as the record's final key.  Both the JSON string escape (with
+# ensure_ascii, json.dumps' default) and js_escape map each UTF-16 code
+# unit independently, so both distribute over concatenation.  That lets
+# the incremental generator assemble a payload from three spans — the
+# escaped record prefix up to the opening quote of the "inner" value,
+# per-subtree *encoded* segments (see :func:`payload_encode`) cached
+# across generations, and the constant closing span — byte-identical to
+# the monolithic helpers above.
+
+
+def payload_encode(text: str) -> str:
+    """``js_escape`` of the JSON string-escape of ``text``.
+
+    ``payload_encode(a + b) == payload_encode(a) + payload_encode(b)``
+    for any split point, which is what makes per-subtree encoded
+    segments spliceable.
+    """
+    return js_escape(json.dumps(text)[1:-1])
+
+
+def head_child_prefix(tag: str, attributes) -> str:
+    """Escaped head-child payload up to (and including) the opening
+    quote of the ``inner`` JSON string value."""
+    return js_escape(json.dumps({"tag": tag, "attrs": list(attributes), "inner": ""})[:-2])
+
+
+def top_element_prefix(attributes) -> str:
+    """Escaped top-element payload up to (and including) the opening
+    quote of the ``inner`` JSON string value."""
+    return js_escape(json.dumps({"attrs": list(attributes), "inner": ""})[:-2])
+
+
+#: Escaped closer for a spliced payload: the quote ending the ``inner``
+#: string value plus the record's closing brace.
+PAYLOAD_SUFFIX = js_escape('"}')
+
+
+def assemble_envelope(
+    doc_time: int,
+    head_payloads: List[str],
+    top_payloads: List[Tuple[str, str]],
+    user_actions_json: str = "[]",
+    cookies_json: str = "[]",
+) -> str:
+    """Assemble a full (non-delta) envelope from pre-escaped payloads.
+
+    Byte-identical to :func:`build_envelope` on the equivalent
+    :class:`NewContent` — both routes share the same payload encoding
+    (the helpers above) and the same wrapper format strings.
+    ``top_payloads`` pairs each payload with its top-element *name*
+    (``body``/``frameset``/``noframes``).
+    """
+    parts = ["<?xml version='1.0' encoding='utf-8'?>", "<newContent>"]
+    parts.append("<docTime>%d</docTime>" % doc_time)
+    parts.append("<docContent>")
+    parts.append("<docHead>")
+    for index, payload in enumerate(head_payloads, start=1):
+        parts.append("<hChild%d><![CDATA[%s]]></hChild%d>" % (index, payload, index))
+    parts.append("</docHead>")
+    for name, payload in top_payloads:
+        tag = _TOP_TAG_NAMES[name]
+        parts.append("<%s><![CDATA[%s]]></%s>" % (tag, payload, tag))
+    parts.append("</docContent>")
+    parts.append(
+        "<userActions><![CDATA[%s]]></userActions>" % js_escape(user_actions_json)
+    )
+    if cookies_json not in ("", "[]"):
+        parts.append(
+            "<docCookies><![CDATA[%s]]></docCookies>" % js_escape(cookies_json)
+        )
+    parts.append("</newContent>")
+    return "".join(parts)
+
+
 def build_envelope(content: NewContent) -> str:
     """Serialize a :class:`NewContent` to the Fig. 4 XML text."""
+    if not content.is_delta:
+        return assemble_envelope(
+            content.doc_time,
+            [head_child_payload(child) for child in content.head_children],
+            [(top.name, top_element_payload(top)) for top in content.top_elements],
+            content.user_actions_json,
+            content.cookies_json,
+        )
     parts = ["<?xml version='1.0' encoding='utf-8'?>", "<newContent>"]
     parts.append("<docTime>%d</docTime>" % content.doc_time)
-    if content.is_delta:
-        parts.append("<baseTime>%d</baseTime>" % content.base_time)
-        parts.append("<delta><![CDATA[%s]]></delta>" % js_escape(content.delta_ops_json))
-    else:
-        parts.append("<docContent>")
-        parts.append("<docHead>")
-        for index, child in enumerate(content.head_children, start=1):
-            payload = js_escape(
-                json.dumps(
-                    {"tag": child.tag, "attrs": child.attributes, "inner": child.inner_html}
-                )
-            )
-            parts.append("<hChild%d><![CDATA[%s]]></hChild%d>" % (index, payload, index))
-        parts.append("</docHead>")
-        for top in content.top_elements:
-            tag = _TOP_TAG_NAMES[top.name]
-            payload = js_escape(
-                json.dumps({"attrs": top.attributes, "inner": top.inner_html})
-            )
-            parts.append("<%s><![CDATA[%s]]></%s>" % (tag, payload, tag))
-        parts.append("</docContent>")
+    parts.append("<baseTime>%d</baseTime>" % content.base_time)
+    parts.append("<delta><![CDATA[%s]]></delta>" % js_escape(content.delta_ops_json))
     parts.append(
         "<userActions><![CDATA[%s]]></userActions>"
         % js_escape(content.user_actions_json)

@@ -11,6 +11,7 @@ operate on, with the innerHTML get/set semantics both depend on.
 
 from __future__ import annotations
 
+from itertools import count as _count
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
@@ -24,6 +25,14 @@ __all__ = [
     "RAW_TEXT_ELEMENTS",
 ]
 
+#: Global monotone mutation-version source.  Every draw is unique, and a
+#: value is only ever shared between a mutated node and its ancestors at
+#: propagation time — so two nodes with equal ``subtree_version`` lie on
+#: one ancestor chain or are the same node, which is what makes version
+#: equality a sound "nothing changed in here" certificate for the
+#: serializer segment cache and the version-guided delta diff.
+_next_version = _count(1).__next__
+
 #: Elements that never have children or an end tag.
 VOID_ELEMENTS = frozenset(
     "area base br col embed hr img input link meta param source track wbr".split()
@@ -32,16 +41,54 @@ VOID_ELEMENTS = frozenset(
 #: Elements whose text content is not entity-decoded or escaped.
 RAW_TEXT_ELEMENTS = frozenset(("script", "style"))
 
+#: Sentinel distinguishing "attribute absent" from any real value.
+_ABSENT = object()
+
 
 class DomError(Exception):
     """Raised for invalid tree manipulations."""
 
 
 class Node:
-    """Base class for all tree nodes."""
+    """Base class for all tree nodes.
+
+    Every node carries two monotone **version stamps** used by the
+    incremental generation pipeline:
+
+    * ``own_version`` — bumped whenever the node's *own* state mutates
+      (attributes, character data, or its direct child list);
+    * ``subtree_version`` — the version of the newest mutation anywhere
+      in the node's subtree; every mutation propagates a fresh stamp to
+      all ancestors.
+
+    Unchanged ``subtree_version`` between two observations of the same
+    node guarantees an unchanged serialization.  Clones always get
+    fresh stamps (a copy is a new node, not the old one).
+    """
 
     def __init__(self):
         self.parent: Optional["Element"] = None
+        self._own_version = self._subtree_version = _next_version()
+
+    @property
+    def own_version(self) -> int:
+        """Version of the last mutation of this node's own state."""
+        return self._own_version
+
+    @property
+    def subtree_version(self) -> int:
+        """Version of the newest mutation anywhere in this subtree."""
+        return self._subtree_version
+
+    def _stamp_mutation(self) -> int:
+        """Record a mutation: fresh own version, propagated to ancestors."""
+        version = _next_version()
+        self._own_version = version
+        node = self
+        while node is not None:
+            node._subtree_version = version
+            node = node.parent
+        return version
 
     @property
     def owner_document(self) -> Optional["Document"]:
@@ -70,35 +117,46 @@ class Node:
         return serialize_node(self)
 
 
-class Text(Node):
-    """A run of character data."""
+class _CharacterData(Node):
+    """Shared character-data machinery for Text and Comment."""
 
     def __init__(self, data: str):
         super().__init__()
-        self.data = data
+        self._data = data
+
+    @property
+    def data(self) -> str:
+        """The node's character data; assignment stamps a mutation."""
+        return self._data
+
+    @data.setter
+    def data(self, value: str) -> None:
+        if value != self._data:
+            self._data = value
+            self._stamp_mutation()
+
+
+class Text(_CharacterData):
+    """A run of character data."""
 
     def clone(self, deep: bool = True) -> "Text":
         """Return a copy of this node (deep copies children too)."""
-        return Text(self.data)
+        return Text(self._data)
 
     def __repr__(self) -> str:
-        preview = self.data if len(self.data) <= 30 else self.data[:27] + "..."
+        preview = self._data if len(self._data) <= 30 else self._data[:27] + "..."
         return "Text(%r)" % (preview,)
 
 
-class Comment(Node):
+class Comment(_CharacterData):
     """An HTML comment."""
-
-    def __init__(self, data: str):
-        super().__init__()
-        self.data = data
 
     def clone(self, deep: bool = True) -> "Comment":
         """Return a copy of this node (deep copies children too)."""
-        return Comment(self.data)
+        return Comment(self._data)
 
     def __repr__(self) -> str:
-        return "Comment(%r)" % (self.data,)
+        return "Comment(%r)" % (self._data,)
 
 
 class _ParentNode(Node):
@@ -140,6 +198,7 @@ class _ParentNode(Node):
                 raise DomError("reference node is not a child")
             self.child_nodes.insert(index, node)
         node.parent = self
+        self._stamp_mutation()
         return node
 
     def remove_child(self, node: Node) -> Node:
@@ -149,6 +208,7 @@ class _ParentNode(Node):
         except ValueError:
             raise DomError("node is not a child")
         node.parent = None
+        self._stamp_mutation()
         return node
 
     def replace_child(self, new: Node, old: Node) -> Node:
@@ -250,11 +310,16 @@ class Element(_ParentNode):
         """Set an attribute (name lowercased; None value becomes '')."""
         if not name:
             raise DomError("empty attribute name")
-        self._attributes[name.lower()] = "" if value is None else str(value)
+        key = name.lower()
+        value = "" if value is None else str(value)
+        if self._attributes.get(key, _ABSENT) != value:
+            self._attributes[key] = value
+            self._stamp_mutation()
 
     def remove_attribute(self, name: str) -> None:
         """Delete an attribute if present."""
-        self._attributes.pop(name.lower(), None)
+        if self._attributes.pop(name.lower(), _ABSENT) is not _ABSENT:
+            self._stamp_mutation()
 
     def has_attribute(self, name: str) -> bool:
         """Whether the attribute exists (even if empty)."""
@@ -296,7 +361,18 @@ class Document(_ParentNode):
 
     def __init__(self):
         super().__init__()
-        self.doctype: Optional[str] = None
+        self._doctype: Optional[str] = None
+
+    @property
+    def doctype(self) -> Optional[str]:
+        """The doctype text (without ``<!``/``>``); assignment stamps."""
+        return self._doctype
+
+    @doctype.setter
+    def doctype(self, value: Optional[str]) -> None:
+        if value != self._doctype:
+            self._doctype = value
+            self._stamp_mutation()
 
     @property
     def document_element(self) -> Optional[Element]:

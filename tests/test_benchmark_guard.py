@@ -77,3 +77,27 @@ class TestMain:
         baseline.write_text(BASELINE_LINE + "\n")
         assert guard.main([str(baseline), str(tmp_path / "absent.txt")]) == 1
         assert "guard" in capsys.readouterr().err
+
+
+class TestFloor:
+    def test_above_floor_passes(self):
+        assert "OK" in guard.check_floor(1200.0, 100.0)
+
+    def test_below_floor_fails(self):
+        with pytest.raises(guard.GuardError, match="below the floor"):
+            guard.check_floor(50.0, 100.0)
+
+    def test_single_file_floor_mode(self, tmp_path, capsys):
+        rendering = tmp_path / "ablation.txt"
+        rendering.write_text("incremental generation throughput: (250.0 operations/s)\n")
+        assert guard.main([str(rendering), "--floor", "100"]) == 0
+        assert guard.main([str(rendering), "--floor", "9999"]) == 1
+        assert "below the floor" in capsys.readouterr().err
+
+    def test_floor_composes_with_relative_check(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        current = tmp_path / "current.txt"
+        baseline.write_text(BASELINE_LINE + "\n")
+        current.write_text(BASELINE_LINE.replace("9.6", "9.1") + "\n")
+        assert guard.main([str(baseline), str(current), "--floor", "5"]) == 0
+        assert guard.main([str(baseline), str(current), "--floor", "9.5"]) == 1
