@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Nightly benchmark drift report: committed baselines vs tonight's run.
+
+Walks the ``*.txt`` renderings of two results directories, extracts the
+``(N operations/s)`` figure from each file that carries one, and emits
+a GitHub-flavored markdown table of baseline vs current with the
+relative change.  Files without a parsable figure are compared by
+content (``same`` / ``changed``) so layout-only renderings still show
+up in the report.
+
+Usage (nightly workflow)::
+
+    python bench_compare.py BASELINE_DIR CURRENT_DIR >> "$GITHUB_STEP_SUMMARY"
+
+The report is informational — the exit code is always 0 unless a
+directory is unreadable; hard floors are the perf-gate's job
+(``check_regression.py --spec``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from check_regression import GuardError, parse_metric
+
+#: Relative change beyond which a row gets a warning marker.
+DRIFT_FLAG = 0.15
+
+
+def _figures(directory: str) -> dict:
+    """Map rendering name -> (figure or None, raw text) for ``*.txt``."""
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".txt"):
+            continue
+        with open(os.path.join(directory, name)) as handle:
+            text = handle.read()
+        try:
+            figure = parse_metric(text)
+        except GuardError:
+            figure = None
+        out[name] = (figure, text)
+    return out
+
+
+def compare(baseline_dir: str, current_dir: str) -> str:
+    """Render the markdown drift report."""
+    baseline = _figures(baseline_dir)
+    current = _figures(current_dir)
+
+    lines = [
+        "### Nightly benchmark drift",
+        "",
+        "| rendering | baseline | current | change |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            status = "missing in %s" % ("baseline" if base is None else "current")
+            lines.append("| %s | | | %s |" % (name, status))
+            continue
+        base_fig, base_text = base
+        cur_fig, cur_text = cur
+        if base_fig is None or cur_fig is None:
+            verdict = "same" if base_text == cur_text else "changed"
+            lines.append("| %s | – | – | %s |" % (name, verdict))
+            continue
+        change = (cur_fig - base_fig) / base_fig if base_fig else 0.0
+        flag = " ⚠️" if change < -DRIFT_FLAG else ""
+        lines.append(
+            "| %s | %.1f ops/s | %.1f ops/s | %+.1f%%%s |"
+            % (name, base_fig, cur_fig, change * 100, flag)
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", help="committed benchmarks/results/")
+    parser.add_argument("current_dir", help="tonight's freshly written results")
+    args = parser.parse_args(argv)
+    try:
+        report = compare(args.baseline_dir, args.current_dir)
+    except OSError as exc:
+        print("bench compare: %s" % exc, file=sys.stderr)
+        return 1
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

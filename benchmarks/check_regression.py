@@ -11,16 +11,35 @@ line like::
 Usage::
 
     python check_regression.py BASELINE CURRENT [--threshold 0.25]
+    python check_regression.py --spec floors.json
 
 Faster-than-baseline results always pass (and print a hint to refresh
 the committed baseline when the gain is large).
+
+The ``--spec`` form checks many absolute floors in one run.  The spec
+is a JSON file with a ``floors`` list; each entry names a rendering
+file (relative to the spec's directory), the floor the extracted figure
+must clear, and optionally a custom capture regex (group 1 must be the
+number — the default pattern matches ``(N operations/s)``)::
+
+    {"floors": [{"name": "serve-batched-n256",
+                 "file": "results/serve_throughput.txt",
+                 "pattern": "N=256\\): ([0-9.]+) serves/s",
+                 "floor": 20000,
+                 "unit": "serves/s"}]}
+
+Every entry is evaluated (one breach does not hide the others); the
+verdict table lists them all and the exit code is 1 if any failed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import re
 import sys
+from typing import List, Optional, Tuple
 
 THROUGHPUT_PATTERN = re.compile(r"\(([0-9]+(?:\.[0-9]+)?) operations/s\)")
 
@@ -29,12 +48,24 @@ class GuardError(Exception):
     """The rendering carries no parsable throughput figure."""
 
 
+def parse_metric(text: str, pattern: Optional[str] = None) -> float:
+    """Extract a numeric figure from a rendering.
+
+    ``pattern`` is a regex whose group 1 captures the number; ``None``
+    falls back to the ``(N operations/s)`` throughput convention.
+    """
+    regex = re.compile(pattern) if pattern is not None else THROUGHPUT_PATTERN
+    match = regex.search(text)
+    if match is None:
+        raise GuardError(
+            "no figure matching %r found" % (pattern or THROUGHPUT_PATTERN.pattern)
+        )
+    return float(match.group(1))
+
+
 def parse_throughput(text: str) -> float:
     """Extract the operations/s figure from a throughput rendering."""
-    match = THROUGHPUT_PATTERN.search(text)
-    if match is None:
-        raise GuardError("no '(N operations/s)' figure found")
-    return float(match.group(1))
+    return parse_metric(text)
 
 
 def check(baseline_ops: float, current_ops: float, threshold: float) -> str:
@@ -68,10 +99,60 @@ def check_floor(current_ops: float, floor: float) -> str:
     return "throughput %.1f operations/s >= floor %.1f: OK" % (current_ops, floor)
 
 
+def check_spec(spec_path: str) -> Tuple[List[str], List[str]]:
+    """Evaluate every floor entry of a JSON spec file.
+
+    Returns ``(table_lines, failures)``: a rendered verdict table
+    covering all entries, and one message per breached (or unreadable)
+    entry.  File paths in the spec are resolved against the spec's own
+    directory so the guard works from any working directory.
+    """
+    with open(spec_path) as handle:
+        spec = json.load(handle)
+    entries = spec.get("floors")
+    if not isinstance(entries, list) or not entries:
+        raise GuardError("spec %s has no 'floors' list" % spec_path)
+    base_dir = os.path.dirname(os.path.abspath(spec_path))
+
+    rows: List[Tuple[str, str, str, str, str]] = []
+    failures: List[str] = []
+    for entry in entries:
+        name = entry.get("name") or entry.get("file", "?")
+        unit = entry.get("unit", "operations/s")
+        floor = float(entry["floor"])
+        try:
+            with open(os.path.join(base_dir, entry["file"])) as handle:
+                value = parse_metric(handle.read(), entry.get("pattern"))
+        except (OSError, GuardError, KeyError) as exc:
+            failures.append("%s: %s" % (name, exc))
+            rows.append((name, "?", "%g" % floor, unit, "ERROR"))
+            continue
+        if value >= floor:
+            verdict = "OK"
+        else:
+            verdict = "FAIL"
+            failures.append(
+                "%s: %.1f %s is below the floor of %g" % (name, value, unit, floor)
+            )
+        rows.append((name, "%.1f" % value, "%g" % floor, unit, verdict))
+
+    headers = ("metric", "current", "floor", "unit", "verdict")
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    fmt = "  ".join("%%-%ds" % width for width in widths)
+    table = [fmt % headers, fmt % tuple("-" * width for width in widths)]
+    table.extend(fmt % row for row in rows)
+    return table, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "baseline",
+        nargs="?",
+        default=None,
         help="committed throughput rendering (with --floor and no CURRENT, "
         "the single file checked against the absolute floor)",
     )
@@ -92,7 +173,29 @@ def main(argv=None) -> int:
         "clear (checked on CURRENT, or on the single file when CURRENT "
         "is omitted)",
     )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="JSON spec of absolute metric floors (see module docstring); "
+        "replaces the BASELINE/CURRENT pair",
+    )
     args = parser.parse_args(argv)
+    if args.spec is not None:
+        if args.baseline is not None or args.current is not None:
+            parser.error("--spec does not take BASELINE/CURRENT files")
+        try:
+            table, failures = check_spec(args.spec)
+        except (OSError, GuardError, ValueError) as exc:
+            print("benchmark regression guard: %s" % exc, file=sys.stderr)
+            return 1
+        print("\n".join(table))
+        if failures:
+            for failure in failures:
+                print("benchmark regression guard: %s" % failure, file=sys.stderr)
+            return 1
+        return 0
+    if args.baseline is None:
+        parser.error("a BASELINE file or --spec is required")
     if args.current is None and args.floor is None:
         parser.error("a CURRENT file or --floor is required")
     try:

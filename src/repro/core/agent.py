@@ -67,7 +67,15 @@ from .content import AGENT_OBJECT_PATH, ContentGenerator
 from .delta import content_tree, diff_trees
 from .policy import ModerationPolicy, OpenPolicy, PendingAction
 from .security import Authenticator
-from .xmlformat import NewContent, build_envelope, js_escape
+from .serveplan import BroadcastPlan, PlanFallback
+from .xmlformat import (
+    NewContent,
+    build_envelope,
+    js_escape,
+    split_wire_template,
+    wire_delta_template,
+    wire_envelope_template,
+)
 
 __all__ = ["RCBAgent", "ParticipantState", "AGENT_DEFAULT_PORT", "TOPIC_ROSTER_CHANGED"]
 
@@ -78,6 +86,9 @@ TOPIC_ROSTER_CHANGED = "rcb-roster-changed"
 
 #: Snippet source marker embedded in the initial page's head.
 _SNIPPET_SCRIPT_ID = "ajax-snippet"
+
+#: Pre-normalized header pair for poll responses (hot serve path).
+_XML_CONTENT_TYPE = ("Content-Type", "application/xml; charset=utf-8")
 
 
 class ParticipantState:
@@ -117,6 +128,7 @@ class RCBAgent(BrowserExtension):
         announce_presence: bool = False,
         enable_delta: bool = True,
         delta_history: int = 8,
+        enable_batched_serve: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         metrics_node: Optional[str] = None,
@@ -162,6 +174,12 @@ class RCBAgent(BrowserExtension):
         self.enable_delta = enable_delta
         #: How many distinct document states the snapshot ring retains.
         self.delta_history = delta_history
+        #: Batched serving: co-due polls against the same (doc_time,
+        #: base_time, mode key) share one diff and one serialized body
+        #: (a broadcast plan), with per-member personalization limited
+        #: to the spliced userActions payload.  False restores the
+        #: legacy per-member str serve path exactly.
+        self.enable_batched_serve = enable_batched_serve
         self._change_waiters: List = []
 
         self.generator = ContentGenerator(AGENT_OBJECT_PATH)
@@ -195,6 +213,21 @@ class RCBAgent(BrowserExtension):
         #: Memoized ops JSON per (base_time, mode_key) for the *current*
         #: document state: participants at the same base share one diff.
         self._delta_memo: Dict = {}
+        #: Batched serving, for the *current* document state only (both
+        #: tables reset together with the envelope caches): pre-encoded
+        #: wire templates per mode key, and broadcast plans (or
+        #: remembered fallbacks) per (base_time, mode_key) — base 0 is
+        #: the full envelope.
+        self._wire_templates: Dict[str, object] = {}
+        self._plans: Dict[tuple, object] = {}
+        #: Escaped userActions payloads keyed by action-object identity:
+        #: broadcast_action hands the *same* action objects to every
+        #: participant, so co-due members share one encode + escape.
+        self._actions_memo: Dict[tuple, tuple] = {}
+        #: Local mirrors of the plans-built / batched-polls counters so
+        #: the per-serve amortization gauge needs no registry reads.
+        self._plans_built_n = 0
+        self._batched_polls_n = 0
 
         self._listener: Optional[ListenSocket] = None
         self._accept_proc = None
@@ -241,8 +274,16 @@ class RCBAgent(BrowserExtension):
                 "segments_total",
                 "dirty_subtrees",
                 "urlcache_hits",
+                "serve_plans_built",
+                "serve_batched_polls",
+                "wire_bytes_zero_copy",
+                "wire_bytes_copied",
             ),
-            gauges=("last_generation_seconds", "generation_reuse_ratio"),
+            gauges=(
+                "last_generation_seconds",
+                "generation_reuse_ratio",
+                "serve_amortization",
+            ),
             histograms=("generation_seconds",),
         )
         #: Trace context per generated document state: serve spans for a
@@ -479,12 +520,16 @@ class RCBAgent(BrowserExtension):
         their_time = int(payload.get("timestamp", 0))
 
         # Step 1: data merging — piggybacked participant actions.
-        try:
-            actions = decode_actions(json.dumps(payload.get("actions", [])))
-        except ActionError:
-            return HttpResponse(400, body=b"bad piggybacked actions")
-        for action in actions:
-            yield from self._moderate(participant_id, action)
+        raw_actions = payload.get("actions") or []
+        if raw_actions:
+            try:
+                actions = decode_actions(json.dumps(raw_actions))
+            except ActionError:
+                return HttpResponse(400, body=b"bad piggybacked actions")
+            for action in actions:
+                yield from self._moderate(participant_id, action)
+        else:
+            actions = []
 
         # Step 2: timestamp inspection.
         outbound = participant.outbound_actions
@@ -504,54 +549,58 @@ class RCBAgent(BrowserExtension):
             outbound = participant.outbound_actions
         if self.always_resend and self.browser.page is not None:
             participant.outbound_actions = []
-            xml = self._envelope_with_actions(outbound, participant_id)
+            body, _ = self._serve_body(
+                participant_id, their_time, outbound, force_full=True
+            )
+            size = len(body)
             participant.content_responses += 1
             self.stats.inc("content_responses")
             self.stats.inc("full_responses")
-            self.stats.inc("full_bytes_sent", len(xml))
-            context = self._serve_span(arrived, participant_id, False, len(xml))
+            self.stats.inc("full_bytes_sent", size)
+            context = self._serve_span(arrived, participant_id, False, size)
             self._emit(
                 POLL_SERVED,
                 trace=context,
                 participant=participant_id,
                 kind="full",
-                bytes=len(xml),
+                bytes=size,
                 doc_time=self._doc_time,
             )
-            return self._xml(xml, context)
+            return self._respond(body, context)
         if self._doc_time > their_time and self.browser.page is not None:
             # Step 3: response sending, with new content — a delta
             # envelope when this participant's acknowledged state is
             # still in the snapshot ring, the full envelope otherwise.
             participant.outbound_actions = []
             generations_before = self._generation_count
-            xml, is_delta = self._content_envelope(participant_id, their_time, outbound)
+            body, is_delta = self._serve_body(participant_id, their_time, outbound)
+            size = len(body)
             if is_delta:
                 self.stats.inc("delta_responses")
-                self.stats.inc("delta_bytes_sent", len(xml))
+                self.stats.inc("delta_bytes_sent", size)
             else:
                 self.stats.inc("full_responses")
-                self.stats.inc("full_bytes_sent", len(xml))
+                self.stats.inc("full_bytes_sent", size)
             if (
                 self.generation_cost_per_kb > 0
                 and self._generation_count > generations_before
             ):
                 # Charge the device's CPU time for the generation run.
                 yield self.browser.sim.timeout(
-                    self.generation_cost_per_kb * len(xml) / 1024.0
+                    self.generation_cost_per_kb * size / 1024.0
                 )
             participant.content_responses += 1
             self.stats.inc("content_responses")
-            context = self._serve_span(arrived, participant_id, is_delta, len(xml))
+            context = self._serve_span(arrived, participant_id, is_delta, size)
             self._emit(
                 POLL_SERVED,
                 trace=context,
                 participant=participant_id,
                 kind="delta" if is_delta else "full",
-                bytes=len(xml),
+                bytes=size,
                 doc_time=self._doc_time,
             )
-            return self._xml(xml, context)
+            return self._respond(body, context)
         if outbound:
             participant.outbound_actions = []
             xml = self._action_only_envelope(outbound)
@@ -632,6 +681,8 @@ class RCBAgent(BrowserExtension):
             self._generated_xml = {}
             self._generated_split = {}
             self._delta_memo = {}
+            self._wire_templates = {}
+            self._plans = {}
             self._generated_for_time = self._doc_time
         mode_key = self.cache_policy.mode_key(participant_id)
         cached = self._generated_xml.get(mode_key)
@@ -663,12 +714,27 @@ class RCBAgent(BrowserExtension):
             cookies_json=cookies_json,
             mode_key=mode_key,
             build_canonical=self.enable_delta,
+            encode_segments=self.enable_batched_serve,
         )
         self._object_map.update(generated.object_map)
         self._generated_xml[mode_key] = generated.xml_text
         split = self._split_envelope(generated.xml_text)
         if split is not None:
             self._generated_split[mode_key] = split
+        if self.enable_batched_serve:
+            if generated.head_segments is not None:
+                # Zero-copy wire path: assemble the template from the
+                # generator's pre-encoded immutable segment bytes.
+                self._wire_templates[mode_key] = wire_envelope_template(
+                    self._doc_time,
+                    generated.head_segments,
+                    generated.top_segments,
+                    cookies_json=cookies_json,
+                )
+            else:
+                template = split_wire_template(generated.xml_text)
+                if template is not None:
+                    self._wire_templates[mode_key] = template
         self._generation_count += 1
         self.stats.set("last_generation_seconds", generated.generation_seconds)
         self.stats.observe("generation_seconds", generated.generation_seconds)
@@ -770,35 +836,17 @@ class RCBAgent(BrowserExtension):
         if not self.enable_delta or their_time <= 0:
             return full, False
         mode_key = self.cache_policy.mode_key(participant_id)
-        ops_json = self._delta_memo.get((their_time, mode_key))
+        ops_json = self._delta_ops_json(their_time, mode_key)
         if ops_json is None:
-            old_tree = self._snapshot_tree(their_time, mode_key)
-            new_tree = self._snapshot_tree(self._doc_time, mode_key)
-            if old_tree is None or new_tree is None:
-                self.stats.inc("delta_fallbacks")
-                self._emit(
-                    DELTA_FALLBACK,
-                    participant=participant_id,
-                    reason="no-snapshot",
-                    base_time=their_time,
-                    doc_time=self._doc_time,
-                )
-                return full, False
-            ops = diff_trees(old_tree, new_tree, metrics=self.metrics, node=self._node_name())
-            ops_json = json.dumps(ops, separators=(",", ":"))
-            self._delta_memo[(their_time, mode_key)] = ops_json
-            if self.tracer is not None:
-                now = self.browser.sim.now
-                self.tracer.start_span(
-                    self._span_prefix + ".delta_diff",
-                    t=now,
-                    parent=self._content_context(),
-                    node=self._node_name(),
-                    base_time=their_time,
-                    doc_time=self._doc_time,
-                    ops=len(ops),
-                    bytes=len(ops_json),
-                ).finish(now)
+            self.stats.inc("delta_fallbacks")
+            self._emit(
+                DELTA_FALLBACK,
+                participant=participant_id,
+                reason="no-snapshot",
+                base_time=their_time,
+                doc_time=self._doc_time,
+            )
+            return full, False
         content = NewContent(
             self._doc_time,
             user_actions_json=encode_actions(actions) if actions else "[]",
@@ -820,6 +868,203 @@ class RCBAgent(BrowserExtension):
             return full, False
         self.stats.inc("delta_bytes_saved", len(full) - len(delta_xml))
         return delta_xml, True
+
+    def _delta_ops_json(self, their_time: int, mode_key: str) -> Optional[str]:
+        """Memoized delta ops JSON for one base, or None when either
+        snapshot has left the ring.  Shared by the legacy per-member
+        path and the broadcast planner — both see one diff per base."""
+        ops_json = self._delta_memo.get((their_time, mode_key))
+        if ops_json is not None:
+            return ops_json
+        old_tree = self._snapshot_tree(their_time, mode_key)
+        new_tree = self._snapshot_tree(self._doc_time, mode_key)
+        if old_tree is None or new_tree is None:
+            return None
+        ops = diff_trees(old_tree, new_tree, metrics=self.metrics, node=self._node_name())
+        ops_json = json.dumps(ops, separators=(",", ":"))
+        self._delta_memo[(their_time, mode_key)] = ops_json
+        if self.tracer is not None:
+            now = self.browser.sim.now
+            self.tracer.start_span(
+                self._span_prefix + ".delta_diff",
+                t=now,
+                parent=self._content_context(),
+                node=self._node_name(),
+                base_time=their_time,
+                doc_time=self._doc_time,
+                ops=len(ops),
+                bytes=len(ops_json),
+            ).finish(now)
+        return ops_json
+
+    # -- batched serving (broadcast plans) -----------------------------------------------------
+
+    def _full_plan(self, participant_id: str, mode_key: str) -> Optional[BroadcastPlan]:
+        """The full-envelope broadcast plan for a mode group, building
+        it (once per document state) from the cached wire template."""
+        if self._generated_for_time == self._doc_time:
+            # Hot path: current-state plan already built — skip the
+            # generation-cache walk entirely.
+            plan = self._plans.get((0, mode_key))
+            if plan is not None:
+                return plan
+        xml = self._ensure_generated(participant_id)
+        plan = self._plans.get((0, mode_key))
+        if plan is not None:
+            return plan
+        template = self._wire_templates.get(mode_key)
+        if template is None:
+            # Segment bytes unavailable (e.g. the batched toggle was
+            # flipped mid-state): split the cached text instead.
+            template = split_wire_template(xml)
+            if template is None:
+                return None
+            self._wire_templates[mode_key] = template
+        plan = BroadcastPlan(template, is_delta=False)
+        self._plans[(0, mode_key)] = plan
+        self.stats.inc("serve_plans_built")
+        self._plans_built_n += 1
+        return plan
+
+    def _delta_plan(
+        self,
+        participant_id: str,
+        their_time: int,
+        mode_key: str,
+        full_plan: BroadcastPlan,
+    ) -> Optional[BroadcastPlan]:
+        """The delta broadcast plan for one base, or None when the full
+        envelope must be served instead.  Failures are remembered as
+        :class:`PlanFallback` so co-due members of a hopeless base skip
+        the diff — but their fallback stats/events still fire per serve,
+        mirroring the unbatched path exactly."""
+        entry = self._plans.get((their_time, mode_key))
+        if entry is None:
+            ops_json = self._delta_ops_json(their_time, mode_key)
+            if ops_json is None:
+                entry = PlanFallback("no-snapshot")
+            else:
+                plan = BroadcastPlan(
+                    wire_delta_template(self._doc_time, their_time, ops_json),
+                    is_delta=True,
+                )
+                if plan.empty_len >= full_plan.empty_len:
+                    # Same verdict the legacy path reaches per member:
+                    # the actions bytes are identical on both
+                    # candidates, so comparing empty-actions lengths is
+                    # the same comparison.
+                    entry = PlanFallback(
+                        "oversize",
+                        delta_bytes=plan.empty_len,
+                        full_bytes=full_plan.empty_len,
+                    )
+                else:
+                    entry = plan
+                    self.stats.inc("serve_plans_built")
+                    self._plans_built_n += 1
+            self._plans[(their_time, mode_key)] = entry
+        if isinstance(entry, PlanFallback):
+            self.stats.inc("delta_fallbacks")
+            detail = dict(
+                participant=participant_id,
+                reason=entry.reason,
+                base_time=their_time,
+                doc_time=self._doc_time,
+            )
+            if entry.reason == "oversize":
+                detail["delta_bytes"] = entry.delta_bytes
+                detail["full_bytes"] = entry.full_bytes
+            self._emit(DELTA_FALLBACK, **detail)
+            return None
+        self.stats.inc("delta_bytes_saved", full_plan.empty_len - entry.empty_len)
+        return entry
+
+    def _serve_batched(
+        self,
+        participant_id: str,
+        their_time: int,
+        actions: List[UserAction],
+        force_full: bool = False,
+    ):
+        """``(WirePlan, is_delta)`` via the broadcast planner, or
+        ``(None, False)`` when no plan can be built (caller falls back
+        to the legacy str path)."""
+        mode_key = self.cache_policy.mode_key(participant_id)
+        plan = self._full_plan(participant_id, mode_key)
+        if plan is None:
+            return None, False
+        if not force_full and self.enable_delta and their_time > 0:
+            # Inlined hit path: a built delta plan for this base is a
+            # single dict probe away (the common case for co-due polls).
+            entry = self._plans.get((their_time, mode_key))
+            if entry is not None and type(entry) is BroadcastPlan:
+                self.stats.inc("delta_bytes_saved", plan.empty_len - entry.empty_len)
+                plan = entry
+            else:
+                delta = self._delta_plan(participant_id, their_time, mode_key, plan)
+                if delta is not None:
+                    plan = delta
+        if plan.serves:
+            self.stats.inc("serve_batched_polls")
+            self._batched_polls_n += 1
+        plan.serves += 1
+        built = self._plans_built_n
+        if built:
+            self.stats.set(
+                "serve_amortization", (self._batched_polls_n + built) / built
+            )
+        body = plan.personalize(self._actions_wire(actions) if actions else None)
+        return body, plan.is_delta
+
+    def _actions_wire(self, actions: List[UserAction]) -> bytes:
+        """The escaped userActions CDATA payload, memoized by action
+        identity: a broadcast queues the *same* action objects on every
+        participant, so co-due members pay one encode + escape total.
+        The memo entry pins the action objects — while it lives their
+        ids cannot be reused, so an id-tuple hit proves identity."""
+        key = tuple(map(id, actions))
+        entry = self._actions_memo.get(key)
+        if entry is not None:
+            return entry[1]
+        wire = js_escape(encode_actions(actions)).encode("ascii")
+        if len(self._actions_memo) >= 512:
+            self._actions_memo.clear()
+        self._actions_memo[key] = (tuple(actions), wire)
+        return wire
+
+    def _serve_body(
+        self,
+        participant_id: str,
+        their_time: int,
+        actions: List[UserAction],
+        force_full: bool = False,
+    ):
+        """The poll body for one participant: ``(body, is_delta)`` where
+        the body is a zero-copy :class:`WirePlan` when batched serving
+        is on and the legacy str envelope otherwise.  Both carry
+        identical bytes on the wire."""
+        if self.enable_batched_serve:
+            body, is_delta = self._serve_batched(
+                participant_id, their_time, actions, force_full=force_full
+            )
+            if body is not None:
+                return body, is_delta
+        if force_full:
+            return self._envelope_with_actions(actions, participant_id), False
+        return self._content_envelope(participant_id, their_time, actions)
+
+    def _respond(self, body, trace_context: Optional[SpanContext] = None) -> HttpResponse:
+        """Wrap a poll body — str or :class:`WirePlan` — in a 200."""
+        if isinstance(body, str):
+            return self._xml(body, trace_context)
+        self.stats.inc("wire_bytes_zero_copy", body.zero_copy_bytes)
+        self.stats.inc("wire_bytes_copied", body.copied_bytes)
+        headers = Headers.preset(
+            [_XML_CONTENT_TYPE, ("Content-Length", str(len(body)))]
+        )
+        if trace_context is not None:
+            headers.set(TRACE_HEADER, format_trace_header(trace_context))
+        return HttpResponse(200, headers, body)
 
     @property
     def generation_count(self) -> int:

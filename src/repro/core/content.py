@@ -138,6 +138,8 @@ class GeneratedContent:
         reused_subtrees: int = 0,
         urlcache_hits: int = 0,
         canonical_root: Optional[Element] = None,
+        head_segments: Optional[List[bytes]] = None,
+        top_segments: Optional[List[Tuple[str, bytes]]] = None,
     ):
         self.content = content
         self.xml_text = xml_text
@@ -163,6 +165,11 @@ class GeneratedContent:
         #: unchanged subtrees are shared with the previous snapshot, so
         #: version-guided diffs skip them without descending).
         self.canonical_root = canonical_root
+        #: Pre-encoded (ASCII bytes) section payloads for the zero-copy
+        #: wire path, cached per clone element across generations; None
+        #: unless the caller asked for ``encode_segments``.
+        self.head_segments = head_segments
+        self.top_segments = top_segments
 
     @property
     def reuse_ratio(self) -> float:
@@ -267,6 +274,7 @@ class ContentGenerator:
         cookies_json: str = "[]",
         mode_key: Optional[str] = None,
         build_canonical: bool = False,
+        encode_segments: bool = False,
     ) -> GeneratedContent:
         """Produce the envelope for the document's current state.
 
@@ -292,6 +300,9 @@ class ContentGenerator:
         ``build_canonical`` additionally builds the canonical content
         tree (:func:`repro.core.delta.content_tree` shape) with
         unchanged subtrees shared against the previous build.
+        ``encode_segments`` additionally exposes each section's payload
+        pre-encoded to ASCII bytes (cached per clone element, like the
+        payload strings), for the zero-copy wire templates.
         """
         started = time.perf_counter()
         root = document.document_element
@@ -326,6 +337,8 @@ class ContentGenerator:
         top_elements: List[TopElement] = []
         top_payloads: List[Tuple[str, str]] = []
         top_clones: List[Element] = []
+        head_segments: Optional[List[bytes]] = [] if encode_segments else None
+        top_segments: Optional[List[Tuple[str, bytes]]] = [] if encode_segments else None
         for child in clone.children:
             if child.tag == "head":
                 for head_child in child.children:
@@ -333,11 +346,15 @@ class ContentGenerator:
                     head_children.append(record)
                     head_payloads.append(payload)
                     head_clones.append(head_child)
+                    if head_segments is not None:
+                        head_segments.append(self._segment_bytes(head_child))
             elif child.tag in ("body", "frameset", "noframes"):
                 record, payload = self._segment(child, False, gen)
                 top_elements.append(record)
                 top_payloads.append((record.name, payload))
                 top_clones.append(child)
+                if top_segments is not None:
+                    top_segments.append((record.name, self._segment_bytes(child)))
 
         content = NewContent(
             doc_time, head_children, top_elements, user_actions_json, cookies_json
@@ -374,6 +391,8 @@ class ContentGenerator:
             reused_subtrees=gen.reused_subtrees,
             urlcache_hits=self.url_cache_hits - url_hits_before,
             canonical_root=canonical_root,
+            head_segments=head_segments,
+            top_segments=top_segments,
         )
 
     def forget(self, mode_key: Optional[str] = None) -> None:
@@ -526,6 +545,18 @@ class ContentGenerator:
         element._rcb_payload = payload
         element._rcb_seg_ver = element._subtree_version
         return record, payload
+
+    @staticmethod
+    def _segment_bytes(element: Element) -> bytes:
+        """The element's payload pre-encoded to immutable ASCII bytes,
+        cached alongside the payload string (payloads are pure ASCII:
+        js_escape leaves nothing above 0x7F unescaped)."""
+        if getattr(element, "_rcb_payload_b_ver", None) == element._subtree_version:
+            return element._rcb_payload_b
+        payload_b = element._rcb_payload.encode("ascii")
+        element._rcb_payload_b = payload_b
+        element._rcb_payload_b_ver = element._subtree_version
+        return payload_b
 
     # -- canonical snapshot tree -------------------------------------------------------
 

@@ -86,6 +86,7 @@ class RelayAgent(RCBAgent):
         cache_mode: bool = True,
         enable_delta: bool = True,
         delta_history: int = 8,
+        enable_batched_serve: bool = True,
         poll_backoff: Optional[BackoffPolicy] = None,
         reattach_backoff: Optional[BackoffPolicy] = None,
         fallback_urls: Optional[List[str]] = None,
@@ -101,6 +102,7 @@ class RelayAgent(RCBAgent):
             poll_interval=poll_interval if poll_interval is not None else 1.0,
             enable_delta=enable_delta,
             delta_history=delta_history,
+            enable_batched_serve=enable_batched_serve,
             metrics=metrics,
             tracer=tracer,
             metrics_node=relay_id,

@@ -81,6 +81,7 @@ class CoBrowsingSession:
         poll_interval: float = 1.0,
         agent: Optional[RCBAgent] = None,
         enable_delta: bool = True,
+        enable_batched_serve: bool = True,
         backoff: Optional[BackoffPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
@@ -96,6 +97,7 @@ class CoBrowsingSession:
                 secret=secret,
                 poll_interval=poll_interval,
                 enable_delta=enable_delta,
+                enable_batched_serve=enable_batched_serve,
                 metrics=metrics,
                 tracer=tracer,
                 metrics_node=host_browser.name,
@@ -224,6 +226,7 @@ class CoBrowsingSession:
             fetch_objects=fetch_objects,
             enable_delta=self.agent.enable_delta,
             delta_history=self.agent.delta_history,
+            enable_batched_serve=self.agent.enable_batched_serve,
             poll_backoff=self._derive_backoff(member_id),
             reattach_backoff=self._reattach_backoff.derive(member_id),
             on_reattach=self._on_relay_reattach,

@@ -64,6 +64,13 @@ __all__ = [
     "js_escape",
     "js_unescape",
     "EnvelopeError",
+    "WireTemplate",
+    "wire_envelope_template",
+    "wire_delta_template",
+    "split_wire_template",
+    "EMPTY_ACTIONS_WIRE",
+    "WIRE_ACTIONS_OPEN",
+    "WIRE_ACTIONS_CLOSE",
 ]
 
 #: Characters JavaScript's escape() leaves unencoded.
@@ -386,6 +393,159 @@ def build_envelope(content: NewContent) -> str:
         )
     parts.append("</newContent>")
     return "".join(parts)
+
+
+# -- bytes-level wire assembly -------------------------------------------------------
+#
+# Every character an envelope can carry is ASCII: payloads, the delta
+# ops, userActions, and docCookies are all js_escape output (the safe
+# set is ASCII and every escape is %XX/%uXXXX), and the XML wrapper is
+# ASCII by construction.  UTF-8 encoding of ASCII text distributes over
+# concatenation, so an envelope's bytes can be spliced from
+# per-section *pre-encoded* bytes segments wrapped in the constants
+# below — byte-for-byte equal to ``assemble_envelope(...).encode()``.
+# A :class:`WireTemplate` is that splice with the userActions CDATA
+# payload left open: ``pre`` ends with the CDATA opener, ``post``
+# begins with its closer, and a receiver-specific body drops in
+# between (see :mod:`repro.core.serveplan`).
+
+_WIRE_XML_DECL = b"<?xml version='1.0' encoding='utf-8'?>"
+_WIRE_OPEN = b"<newContent>"
+_WIRE_CLOSE = b"</newContent>"
+_WIRE_HEAD_OPEN = b"<docHead>"
+_WIRE_HEAD_CLOSE = b"</docHead>"
+_WIRE_CONTENT_OPEN = b"<docContent>"
+_WIRE_CONTENT_CLOSE = b"</docContent>"
+
+#: The userActions CDATA slot a wire template leaves open.
+WIRE_ACTIONS_OPEN = b"<userActions><![CDATA["
+WIRE_ACTIONS_CLOSE = b"]]></userActions>"
+
+#: ``js_escape("[]")`` pre-encoded: the shared empty-actions payload.
+EMPTY_ACTIONS_WIRE = js_escape("[]").encode("ascii")
+
+#: Memoized per-index head-child wrappers and per-name top wrappers.
+_HCHILD_WRAPS: Dict[int, Tuple[bytes, bytes]] = {}
+_TOP_WRAPS: Dict[str, Tuple[bytes, bytes]] = {
+    name: (("<%s><![CDATA[" % tag).encode(), ("]]></%s>" % tag).encode())
+    for name, tag in _TOP_TAG_NAMES.items()
+}
+
+
+def _hchild_wrap(index: int) -> Tuple[bytes, bytes]:
+    wrap = _HCHILD_WRAPS.get(index)
+    if wrap is None:
+        wrap = _HCHILD_WRAPS[index] = (
+            ("<hChild%d><![CDATA[" % index).encode(),
+            ("]]></hChild%d>" % index).encode(),
+        )
+    return wrap
+
+
+class WireTemplate:
+    """One envelope's bytes, split around the userActions CDATA slot.
+
+    ``pre`` and ``post`` are shared immutable buffer lists with their
+    total lengths precomputed; per-receiver plans splice a personalized
+    actions payload between them without copying either side.
+    """
+
+    __slots__ = ("pre", "post", "pre_len", "post_len")
+
+    def __init__(self, pre, post):
+        self.pre = pre
+        self.post = post
+        self.pre_len = sum(len(buffer) for buffer in pre)
+        self.post_len = sum(len(buffer) for buffer in post)
+
+    def __repr__(self):
+        return "WireTemplate(%d+%d buffers, %d+%d bytes)" % (
+            len(self.pre),
+            len(self.post),
+            self.pre_len,
+            self.post_len,
+        )
+
+
+def wire_envelope_template(
+    doc_time: int,
+    head_payloads: List[bytes],
+    top_payloads: List[Tuple[str, bytes]],
+    cookies_json: str = "[]",
+) -> WireTemplate:
+    """A full-envelope template from pre-encoded payload bytes.
+
+    Mirrors :func:`assemble_envelope` piece by piece — same wrapper
+    strings, same section order, same docCookies omission rule — so
+    splicing any actions payload into the slot yields exactly
+    ``assemble_envelope(..., user_actions_json).encode()``.
+    """
+    pre = [
+        _WIRE_XML_DECL,
+        _WIRE_OPEN,
+        b"<docTime>%d</docTime>" % doc_time,
+        _WIRE_CONTENT_OPEN,
+        _WIRE_HEAD_OPEN,
+    ]
+    for index, payload in enumerate(head_payloads, start=1):
+        open_b, close_b = _hchild_wrap(index)
+        pre.append(open_b)
+        pre.append(payload)
+        pre.append(close_b)
+    pre.append(_WIRE_HEAD_CLOSE)
+    for name, payload in top_payloads:
+        open_b, close_b = _TOP_WRAPS[name]
+        pre.append(open_b)
+        pre.append(payload)
+        pre.append(close_b)
+    pre.append(_WIRE_CONTENT_CLOSE)
+    pre.append(WIRE_ACTIONS_OPEN)
+    post = [WIRE_ACTIONS_CLOSE]
+    if cookies_json not in ("", "[]"):
+        post.append(
+            b"<docCookies><![CDATA["
+            + js_escape(cookies_json).encode("ascii")
+            + b"]]></docCookies>"
+        )
+    post.append(_WIRE_CLOSE)
+    return WireTemplate(pre, post)
+
+
+def wire_delta_template(doc_time: int, base_time: int, delta_ops_json: str) -> WireTemplate:
+    """A delta-envelope template, mirroring :func:`build_envelope`'s
+    delta branch (deltas never carry docCookies: the agent replicates
+    cookies only on full envelopes)."""
+    pre = [
+        _WIRE_XML_DECL,
+        _WIRE_OPEN,
+        b"<docTime>%d</docTime>" % doc_time,
+        b"<baseTime>%d</baseTime>" % base_time,
+        b"<delta><![CDATA[" + js_escape(delta_ops_json).encode("ascii") + b"]]></delta>",
+        WIRE_ACTIONS_OPEN,
+    ]
+    post = [WIRE_ACTIONS_CLOSE, _WIRE_CLOSE]
+    return WireTemplate(pre, post)
+
+
+def split_wire_template(xml_text: str) -> Optional[WireTemplate]:
+    """A template from an already-assembled envelope's text.
+
+    Fallback for envelopes generated without per-section bytes: the
+    encoded text is split once around the (empty) userActions payload,
+    and both halves are shared as :class:`memoryview` slices — no
+    per-receiver copy of either page-sized half.  Returns None when the
+    text has no userActions section to splice.
+    """
+    data = xml_text.encode("utf-8")
+    start = data.find(WIRE_ACTIONS_OPEN)
+    if start == -1:
+        return None
+    start += len(WIRE_ACTIONS_OPEN)
+    end = data.find(WIRE_ACTIONS_CLOSE, start)
+    if end == -1:
+        return None
+    view = memoryview(data)
+    return WireTemplate([view[:start]], [view[end:]])
 
 
 def parse_envelope(text: str) -> NewContent:

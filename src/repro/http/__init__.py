@@ -20,6 +20,7 @@ from .parser import (
     parse_response_bytes,
 )
 from .server import HttpServer, serve_connection
+from .wire import WirePlan
 
 __all__ = [
     "Cookie",
@@ -40,5 +41,6 @@ __all__ = [
     "parse_response_bytes",
     "quote",
     "serve_connection",
+    "WirePlan",
     "xml_response",
 ]

@@ -10,7 +10,9 @@ browser's HTTP client.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from .wire import WirePlan
 
 __all__ = ["Headers", "HttpRequest", "HttpResponse", "HttpError", "STATUS_REASONS"]
 
@@ -90,12 +92,47 @@ class Headers:
         """Independent copy of this header collection."""
         return Headers(list(self._items))
 
+    @classmethod
+    def preset(cls, items: List[Tuple[str, str]]) -> "Headers":
+        """Construct from already-normalized ``(name, str_value)``
+        pairs, skipping per-item coercion — for hot serve paths that
+        build the same handful of headers per response."""
+        headers = cls()
+        headers._items = list(items)
+        return headers
+
+    def wire_line_list(self) -> List[bytes]:
+        """The serialized header lines (CRLF-terminated), unjoined.
+
+        Lines are memoized per (name, value) pair: server responses
+        repeat the same handful of header values endlessly
+        (Content-Type, Server, small Content-Lengths), so the hot path
+        is a dict probe instead of a format + encode per header.
+        """
+        cache = _HEADER_LINE_CACHE
+        lines = []
+        for item in self._items:
+            line = cache.get(item)
+            if line is None:
+                line = ("%s: %s" % item).encode("latin-1") + CRLF
+                if len(cache) >= _HEADER_LINE_CACHE_MAX:
+                    cache.clear()
+                cache[item] = line
+            lines.append(line)
+        return lines
+
     def wire_lines(self) -> bytes:
         """The header block serialized with CRLF line endings."""
-        return b"".join(
-            ("%s: %s" % (name, value)).encode("latin-1") + CRLF
-            for name, value in self._items
-        )
+        return b"".join(self.wire_line_list())
+
+
+#: Memoized serialized header lines; bounded and simply cleared when
+#: full (the steady-state working set is tiny).
+_HEADER_LINE_CACHE: Dict[Tuple[str, str], bytes] = {}
+_HEADER_LINE_CACHE_MAX = 2048
+
+#: Memoized response status lines (``HTTP/1.1 200 OK\r\n``).
+_STATUS_LINE_CACHE: Dict[Tuple[str, int, str], bytes] = {}
 
 
 class HttpRequest:
@@ -185,23 +222,63 @@ class HttpRequest:
 
 
 class HttpResponse:
-    """An HTTP response with status, headers, and body."""
+    """An HTTP response with status, headers, and body.
+
+    ``body`` is either contiguous ``bytes`` or a
+    :class:`~repro.http.wire.WirePlan` (a writev-style list of shared
+    buffers).  A plan body is only materialized into contiguous bytes
+    when something reads :attr:`body`; the serve path ships the
+    buffers directly via :meth:`wire_buffers`.
+    """
 
     def __init__(
         self,
         status: int,
         headers: Optional[Headers] = None,
-        body: bytes = b"",
+        body: Union[bytes, WirePlan] = b"",
         reason: Optional[str] = None,
         version: str = "HTTP/1.1",
     ):
         self.status = int(status)
         self.reason = reason if reason is not None else STATUS_REASONS.get(status, "")
         self.headers = headers if headers is not None else Headers()
-        self.body = body
+        if isinstance(body, WirePlan):
+            self._plan: Optional[WirePlan] = body
+            self._body = b""
+        else:
+            self._plan = None
+            self._body = body
         self.version = version
         if "content-length" not in self.headers:
             self.headers.set("Content-Length", str(len(body)))
+
+    @property
+    def body(self) -> bytes:
+        """The contiguous body bytes (joins a plan body on demand)."""
+        if self._plan is not None:
+            return self._plan.to_bytes()
+        return self._body
+
+    @body.setter
+    def body(self, value: Union[bytes, WirePlan]) -> None:
+        if isinstance(value, WirePlan):
+            self._plan = value
+            self._body = b""
+        else:
+            self._plan = None
+            self._body = value
+
+    @property
+    def wire_plan(self) -> Optional[WirePlan]:
+        """The zero-copy body plan, or None for a contiguous body."""
+        return self._plan
+
+    @property
+    def content_length(self) -> int:
+        """Body length in bytes, without materializing a plan body."""
+        if self._plan is not None:
+            return self._plan.nbytes
+        return len(self._body)
 
     @property
     def content_type(self) -> str:
@@ -217,19 +294,50 @@ class HttpResponse:
         """The body decoded as text."""
         return self.body.decode(encoding, errors="replace")
 
+    def _status_line(self) -> bytes:
+        """Memoized ``b"HTTP/1.1 200 OK\\r\\n"``-style status line."""
+        key = (self.version, self.status, self.reason)
+        line = _STATUS_LINE_CACHE.get(key)
+        if line is None:
+            line = ("%s %d %s" % key).encode("latin-1") + CRLF
+            if len(_STATUS_LINE_CACHE) >= 64:
+                _STATUS_LINE_CACHE.clear()
+            _STATUS_LINE_CACHE[key] = line
+        return line
+
+    def head_bytes(self) -> bytes:
+        """Status line + header block + blank line."""
+        return self._status_line() + self.headers.wire_lines() + CRLF
+
+    def wire_buffers(self) -> List[bytes]:
+        """The full wire message as a writev-style buffer list.
+
+        Nothing is joined: the status line and header lines come from
+        their memo caches, and a plan body's page-sized shared segments
+        are returned by reference — no contiguous per-response copy is
+        ever built.
+        """
+        buffers = [self._status_line()]
+        buffers.extend(self.headers.wire_line_list())
+        buffers.append(CRLF)
+        if self._plan is not None:
+            buffers.extend(self._plan.buffers)
+        elif self._body:
+            buffers.append(self._body)
+        return buffers
+
     def to_bytes(self) -> bytes:
-        """Serialize to the HTTP/1.1 wire format."""
-        status_line = ("%s %d %s" % (self.version, self.status, self.reason)).encode(
-            "latin-1"
-        )
-        return status_line + CRLF + self.headers.wire_lines() + CRLF + self.body
+        """Serialize to the HTTP/1.1 wire format (contiguous bytes)."""
+        if self._plan is not None:
+            return b"".join(self.wire_buffers())
+        return self.head_bytes() + self._body
 
     def __repr__(self) -> str:
         return "HttpResponse(%d %s, %s, %d body bytes)" % (
             self.status,
             self.reason,
             self.content_type or "no type",
-            len(self.body),
+            self.content_length,
         )
 
 

@@ -143,7 +143,12 @@ def serve_connection(sim, connection, dispatch, server_name="repro-httpd"):
             if not request.keep_alive:
                 response.headers.set("Connection", "close")
             try:
-                yield connection.send(response.to_bytes())
+                if response.wire_plan is not None:
+                    # Zero-copy body: hand the buffer list to the
+                    # socket layer (writev); no contiguous join here.
+                    yield connection.sendv(response.wire_buffers())
+                else:
+                    yield connection.send(response.to_bytes())
             except NetworkError:
                 return
             if not request.keep_alive:

@@ -1,0 +1,95 @@
+"""Zero-copy wire assembly: writev-style list-of-buffers responses.
+
+A :class:`WirePlan` is an ordered list of byte buffers that together
+form one HTTP message body.  Instead of concatenating page-sized
+strings per receiver, the serve path appends *shared* buffers —
+immutable ``bytes`` segments (or :class:`memoryview` slices of them)
+reused across every receiver of the same document state — plus a small
+number of *owned* buffers holding the per-receiver personalization
+(the spliced userActions payload).  The plan is handed to the socket
+layer as an iovec (:meth:`repro.net.socket.Connection.sendv`), so the
+page-sized content is never copied into a per-receiver contiguous
+body in userspace.
+
+Accounting distinguishes the two append flavours: ``zero_copy_bytes``
+counts bytes that crossed the serve path by reference only, and
+``copied_bytes`` counts bytes materialized for this receiver alone.
+The ratio is the zero-copy win the ``wire.*`` instruments surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+__all__ = ["WirePlan"]
+
+Buffer = Union[bytes, memoryview]
+
+
+class WirePlan:
+    """An ordered list of buffers forming one response body.
+
+    Buffers must be treated as immutable once appended: shared buffers
+    are, by design, referenced by many concurrent plans.
+    """
+
+    __slots__ = ("buffers", "nbytes", "zero_copy_bytes", "copied_bytes", "_joined")
+
+    def __init__(self):
+        self.buffers: List[Buffer] = []
+        self.nbytes = 0
+        #: Bytes appended by reference (shared segments, no copy).
+        self.zero_copy_bytes = 0
+        #: Bytes materialized for this plan alone (personalization).
+        self.copied_bytes = 0
+        self._joined = None
+
+    def append_shared(self, buffer: Buffer) -> None:
+        """Append one shared (reference-counted, immutable) buffer."""
+        self.buffers.append(buffer)
+        size = len(buffer)
+        self.nbytes += size
+        self.zero_copy_bytes += size
+        self._joined = None
+
+    def extend_shared(self, buffers: List[Buffer], nbytes: int) -> None:
+        """Append a pre-measured run of shared buffers in one step.
+
+        ``nbytes`` must equal the total length of ``buffers``; callers
+        (wire templates) precompute it once, so extending a plan costs
+        O(len(buffers)) list work with no per-buffer ``len`` calls.
+        """
+        self.buffers.extend(buffers)
+        self.nbytes += nbytes
+        self.zero_copy_bytes += nbytes
+        self._joined = None
+
+    def append_owned(self, data: bytes) -> None:
+        """Append a buffer materialized for this receiver alone."""
+        self.buffers.append(data)
+        size = len(data)
+        self.nbytes += size
+        self.copied_bytes += size
+        self._joined = None
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def to_bytes(self) -> bytes:
+        """Materialize the contiguous body (memoized).
+
+        Only compatibility paths (``response.body``, tests) pay this
+        join; the serve path hands :attr:`buffers` to the socket layer
+        directly.
+        """
+        if self._joined is None:
+            self._joined = b"".join(self.buffers)
+        return self._joined
+
+    def __repr__(self) -> str:
+        return "WirePlan(%d buffers, %d bytes, %d zero-copy / %d copied)" % (
+            len(self.buffers),
+            self.nbytes,
+            self.zero_copy_bytes,
+            self.copied_bytes,
+        )

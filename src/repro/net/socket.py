@@ -303,6 +303,48 @@ class Connection:
         self.sim.timeout(delay)._add_callback(deliver)
         return done
 
+    def sendv(self, buffers) -> Event:
+        """Transmit a writev-style buffer list (scatter-gather send).
+
+        The sender's hot path never joins the buffers: lengths are
+        summed for the link model and the iovec is handed over as-is,
+        like ``writev(2)`` handing an iovec to the kernel.  The single
+        contiguous chunk the peer receives is assembled at *delivery*
+        time — modelling the receiver's stream reassembly, not a
+        sender-side copy.  Sends on a closed connection fail.
+        """
+        done = self.sim.event()
+        if self.closed or self._peer is None:
+            done.fail(NetworkError("sendv() on closed connection"))
+            return done
+        nbytes = 0
+        for buffer in buffers:
+            if not isinstance(buffer, (bytes, bytearray, memoryview)):
+                raise TypeError("sendv() requires byte buffers, got %r" % (type(buffer),))
+            nbytes += len(buffer)
+        self.bytes_sent += nbytes
+        network = self.local.network
+        delay = network.transfer_delay(self.local, self.remote, nbytes)
+        if network.slow_start_enabled and nbytes > self._cwnd:
+            rtt = 2 * network.propagation_latency(self.local, self.remote)
+            rounds = 0
+            cwnd = self._cwnd
+            while cwnd < nbytes:
+                cwnd *= 2
+                rounds += 1
+            self._cwnd = cwnd
+            delay += rounds * rtt
+        peer = self._peer
+
+        def deliver(_event):
+            if peer is not None and not peer._inbox.closed:
+                peer._inbox.put(b"".join(buffers))
+                peer.bytes_received += nbytes
+            done.succeed(nbytes)
+
+        self.sim.timeout(delay)._add_callback(deliver)
+        return done
+
     def recv(self) -> Event:
         """Event yielding the next received chunk of bytes.
 

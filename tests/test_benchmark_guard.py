@@ -1,11 +1,13 @@
 """The CI benchmark regression guard: parser and verdict logic.
 
-``benchmarks/check_regression.py`` is a standalone script (no package),
-so it is loaded here by path.
+``benchmarks/check_regression.py`` and ``benchmarks/bench_compare.py``
+are standalone scripts (no package), so they are loaded here by path.
 """
 
 import importlib.util
+import json
 import os
+import sys
 
 import pytest
 
@@ -14,7 +16,13 @@ _SCRIPT = os.path.join(
 )
 _spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
 guard = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", guard)
 _spec.loader.exec_module(guard)
+
+_COMPARE = os.path.join(os.path.dirname(_SCRIPT), "bench_compare.py")
+_cspec = importlib.util.spec_from_file_location("bench_compare", _COMPARE)
+bench_compare = importlib.util.module_from_spec(_cspec)
+_cspec.loader.exec_module(bench_compare)
 
 BASELINE_LINE = (
     "Full-stack surf: 14 pages + 10 mutations in 2.51 s wall "
@@ -101,3 +109,147 @@ class TestFloor:
         current.write_text(BASELINE_LINE.replace("9.6", "9.1") + "\n")
         assert guard.main([str(baseline), str(current), "--floor", "5"]) == 0
         assert guard.main([str(baseline), str(current), "--floor", "9.5"]) == 1
+
+
+class TestFloorsSpec:
+    """The ``--spec floors.json`` multi-metric mode."""
+
+    def write_spec(self, tmp_path, entries):
+        spec = tmp_path / "floors.json"
+        spec.write_text(json.dumps({"floors": entries}))
+        return spec
+
+    def test_custom_pattern_extracts_the_named_figure(self, tmp_path):
+        rendering = tmp_path / "serve.txt"
+        rendering.write_text(
+            "Batched serve (MSN, N=256): 151738.2 serves/s vs legacy "
+            "27334.6 serves/s (5.6x speedup)\n"
+        )
+        value = guard.parse_metric(
+            rendering.read_text(), r"N=256\): ([0-9.]+) serves/s"
+        )
+        assert value == 151738.2
+
+    def test_all_entries_pass(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text("x (250.0 operations/s)\n")
+        (tmp_path / "b.txt").write_text("y: 42.5 widgets/s\n")
+        spec = self.write_spec(
+            tmp_path,
+            [
+                {"name": "a", "file": "a.txt", "floor": 100},
+                {
+                    "name": "b",
+                    "file": "b.txt",
+                    "pattern": r"([0-9.]+) widgets/s",
+                    "floor": 40,
+                    "unit": "widgets/s",
+                },
+            ],
+        )
+        assert guard.main(["--spec", str(spec)]) == 0
+        table = capsys.readouterr().out
+        assert "a" in table and "b" in table
+        assert table.count("OK") == 2
+
+    def test_one_breach_fails_but_reports_every_entry(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text("x (250.0 operations/s)\n")
+        (tmp_path / "b.txt").write_text("y (3.0 operations/s)\n")
+        spec = self.write_spec(
+            tmp_path,
+            [
+                {"name": "a", "file": "a.txt", "floor": 100},
+                {"name": "b", "file": "b.txt", "floor": 100},
+            ],
+        )
+        assert guard.main(["--spec", str(spec)]) == 1
+        captured = capsys.readouterr()
+        assert "OK" in captured.out and "FAIL" in captured.out
+        assert "below the floor" in captured.err
+
+    def test_missing_rendering_is_an_error_row_not_a_crash(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text("x (250.0 operations/s)\n")
+        spec = self.write_spec(
+            tmp_path,
+            [
+                {"name": "a", "file": "a.txt", "floor": 100},
+                {"name": "gone", "file": "absent.txt", "floor": 100},
+            ],
+        )
+        assert guard.main(["--spec", str(spec)]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_paths_resolve_against_the_spec_directory(self, tmp_path, monkeypatch):
+        nested = tmp_path / "nested"
+        nested.mkdir()
+        (nested / "a.txt").write_text("x (250.0 operations/s)\n")
+        spec = self.write_spec(nested, [{"name": "a", "file": "a.txt", "floor": 100}])
+        monkeypatch.chdir(tmp_path)
+        assert guard.main(["--spec", str(spec)]) == 0
+
+    def test_spec_rejects_extra_positional_files(self, tmp_path):
+        spec = self.write_spec(tmp_path, [{"name": "a", "file": "a.txt", "floor": 1}])
+        with pytest.raises(SystemExit):
+            guard.main(["base.txt", "--spec", str(spec)])
+
+    def test_empty_spec_is_an_error(self, tmp_path, capsys):
+        spec = tmp_path / "floors.json"
+        spec.write_text(json.dumps({"floors": []}))
+        assert guard.main(["--spec", str(spec)]) == 1
+        assert "no 'floors' list" in capsys.readouterr().err
+
+    def test_committed_spec_passes_against_committed_baselines(self, capsys):
+        committed = os.path.join(os.path.dirname(_SCRIPT), "floors.json")
+        assert guard.main(["--spec", committed]) == 0
+        assert "serve-batched-n256" in capsys.readouterr().out
+
+
+class TestBenchCompare:
+    """The nightly markdown drift report."""
+
+    def fill(self, directory, name, line):
+        directory.mkdir(exist_ok=True)
+        (directory / name).write_text(line + "\n")
+
+    def test_reports_change_and_flags_regressions(self, tmp_path):
+        self.fill(tmp_path / "base", "surf.txt", "a (10.0 operations/s)")
+        self.fill(tmp_path / "cur", "surf.txt", "a (4.0 operations/s)")
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| surf.txt | 10.0 ops/s | 4.0 ops/s | -60.0%" in report
+        assert "⚠️" in report
+
+    def test_small_drift_is_not_flagged(self, tmp_path):
+        self.fill(tmp_path / "base", "surf.txt", "a (10.0 operations/s)")
+        self.fill(tmp_path / "cur", "surf.txt", "a (9.5 operations/s)")
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "-5.0%" in report
+        assert "⚠️" not in report
+
+    def test_unparsable_renderings_compare_by_content(self, tmp_path):
+        self.fill(tmp_path / "base", "table.txt", "col1 col2")
+        self.fill(tmp_path / "cur", "table.txt", "col1 col3")
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| table.txt | – | – | changed |" in report
+
+    def test_missing_files_are_called_out(self, tmp_path):
+        self.fill(tmp_path / "base", "old.txt", "a (1.0 operations/s)")
+        self.fill(tmp_path / "cur", "new.txt", "a (1.0 operations/s)")
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| new.txt | | | missing in baseline |" in report
+        assert "| old.txt | | | missing in current |" in report
+
+    def test_main_prints_markdown_and_exits_zero(self, tmp_path, capsys):
+        self.fill(tmp_path / "base", "surf.txt", "a (10.0 operations/s)")
+        self.fill(tmp_path / "cur", "surf.txt", "a (11.0 operations/s)")
+        assert (
+            bench_compare.main([str(tmp_path / "base"), str(tmp_path / "cur")]) == 0
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("### Nightly benchmark drift")

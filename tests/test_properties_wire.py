@@ -1,0 +1,117 @@
+"""Property-based test: batched serve output == legacy, byte for byte.
+
+For random edit sequences and member mixes, the broadcast-plan pipeline
+(shared templates + per-member userActions splice) must emit exactly
+the bytes the legacy per-member str pipeline emits — including the
+full-vs-delta decision, fallback behavior, and HMAC-enabled worlds.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.browser import Browser
+from repro.core import FormFillAction, MouseMoveAction, RCBAgent
+from repro.html import Text
+from repro.net import LAN_PROFILE, Host, Network
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+PAGE = (
+    "<html><head><title>Prop</title></head>"
+    "<body><h2 id='headline'>start</h2>"
+    "<form id='f'><input name='q' value=''></form>"
+    + "".join("<p id='p%d'>seed %d</p>" % (i, i) for i in range(6))
+    + "</body></html>"
+)
+
+
+def build_agent(batched, secret=None):
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page("/", PAGE)
+    OriginServer(network, "site.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    browser = Browser(host_pc, name="host")
+    agent = RCBAgent(enable_batched_serve=batched, secret=secret)
+    agent.install(browser)
+    sim.run_until_complete(sim.process(browser.navigate("http://site.com/")))
+    return browser, agent
+
+
+# One edit = (paragraph index, replacement text).
+edits = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.text(alphabet=string.ascii_letters + string.digits + " .,!-", max_size=30),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+# One member = (how many ticks behind its ack is, action payload kind).
+members = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.sampled_from(["none", "shared", "own", "both"]),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def apply_edit(browser, index, text):
+    def mutate(document):
+        target = document.get_element_by_id("p%d" % index)
+        target.remove_all_children()
+        target.append_child(Text(text if text else "empty"))
+
+    browser.mutate_document(mutate)
+
+
+@settings(max_examples=25, deadline=None)
+@given(edit_seq=edits, member_mix=members, use_secret=st.booleans())
+def test_batched_serve_is_byte_identical(edit_seq, member_mix, use_secret):
+    secret = "prop-secret" if use_secret else None
+    browser_l, agent_l = build_agent(False, secret=secret)
+    browser_b, agent_b = build_agent(True, secret=secret)
+    assert agent_l.doc_time == agent_b.doc_time
+
+    # Run the edit sequence tick by tick; after each tick a couple of
+    # members poll, so intermediate states enter the snapshot ring at
+    # the same doc-times in both worlds.
+    history = [agent_l.doc_time]
+    for tick, (index, text) in enumerate(edit_seq):
+        agent_l._serve_body("warm", 0, [])
+        agent_b._serve_body("warm", 0, [])
+        apply_edit(browser_l, index, text)
+        apply_edit(browser_b, index, text)
+        assert agent_l.doc_time == agent_b.doc_time
+        history.append(agent_l.doc_time)
+
+    shared_l = [MouseMoveAction(11, 22)]
+    shared_b = [MouseMoveAction(11, 22)]
+    for slot, (behind, action_kind) in enumerate(member_mix):
+        member = "m%d" % slot
+        their_time = 0 if behind >= len(history) else history[-1 - behind]
+        if action_kind == "none":
+            actions_l, actions_b = [], []
+        elif action_kind == "shared":
+            actions_l, actions_b = shared_l, shared_b
+        elif action_kind == "own":
+            actions_l = [FormFillAction("f", {"q": "member %d" % slot})]
+            actions_b = [FormFillAction("f", {"q": "member %d" % slot})]
+        else:
+            actions_l = shared_l + [MouseMoveAction(slot, slot)]
+            actions_b = shared_b + [MouseMoveAction(slot, slot)]
+        body_l, delta_l = agent_l._serve_body(member, their_time, actions_l)
+        body_b, delta_b = agent_b._serve_body(member, their_time, actions_b)
+        response_l = agent_l._respond(body_l)
+        response_b = agent_b._respond(body_b)
+        assert delta_l == delta_b
+        assert response_l.to_bytes() == response_b.to_bytes()
+
+    # Observability parity across the whole sequence.
+    for key in ("delta_fallbacks", "delta_bytes_saved"):
+        assert agent_l.stats[key] == agent_b.stats[key], key

@@ -1,0 +1,438 @@
+"""Zero-copy wire path: WirePlan mechanics and batched-serve identity.
+
+The tentpole invariant: with ``enable_batched_serve`` on, the agent
+serves poll bodies assembled from shared pre-encoded buffers — and the
+bytes on the wire are *identical* to the legacy per-member str path,
+for every mix of full/delta envelopes, userActions payloads, cookies,
+and fallbacks.  These are the fixed regression cases; the random
+sweep lives in test_properties_wire.py.
+"""
+
+import json
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import MouseMoveAction, RCBAgent
+from repro.core.serveplan import BroadcastPlan, PlanFallback
+from repro.core.xmlformat import (
+    EMPTY_ACTIONS_WIRE,
+    split_wire_template,
+    wire_delta_template,
+)
+from repro.html import Text
+from repro.http import Headers, HttpResponse, WirePlan
+from repro.net import LAN_PROFILE, Host, Network
+from repro.obs import DELTA_FALLBACK, EventBus
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+PAGE = (
+    "<html><head><title>Wire test</title><meta charset='utf-8'></head>"
+    "<body><h2 id='headline'>News</h2>"
+    "<img src='/logo.png'>"
+    + "".join("<p id='p%d'>paragraph %d body text</p>" % (i, i) for i in range(10))
+    + "</body></html>"
+)
+
+
+def build_agent(batched, **agent_kwargs):
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page("/", PAGE)
+    site.add("/logo.png", "image/png", b"\x89PNG" + b"l" * 800)
+    OriginServer(network, "site.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    browser = Browser(host_pc, name="host")
+    agent = RCBAgent(enable_batched_serve=batched, **agent_kwargs)
+    agent.install(browser)
+    sim.run_until_complete(sim.process(browser.navigate("http://site.com/")))
+    return sim, browser, agent
+
+
+def edit_headline(browser, text):
+    def mutate(document):
+        target = document.get_element_by_id("headline")
+        target.remove_all_children()
+        target.append_child(Text(text))
+
+    browser.mutate_document(mutate)
+
+
+def body_bytes(agent, participant, their_time, actions, force_full=False):
+    """Serve one poll body through either pipeline; contiguous bytes."""
+    body, is_delta = agent._serve_body(
+        participant, their_time, actions, force_full=force_full
+    )
+    response = agent._respond(body)
+    return response.to_bytes(), is_delta, response
+
+
+class TestWirePlan:
+    def test_shared_and_owned_accounting(self):
+        plan = WirePlan()
+        plan.append_shared(b"shared-segment")
+        plan.append_owned(b"owned")
+        assert plan.zero_copy_bytes == len(b"shared-segment")
+        assert plan.copied_bytes == len(b"owned")
+        assert len(plan) == plan.zero_copy_bytes + plan.copied_bytes
+        assert plan.to_bytes() == b"shared-segmentowned"
+
+    def test_extend_shared_uses_premeasured_length(self):
+        plan = WirePlan()
+        plan.extend_shared([b"ab", b"cde"], 5)
+        assert plan.nbytes == 5
+        assert plan.to_bytes() == b"abcde"
+
+    def test_to_bytes_memoized(self):
+        plan = WirePlan()
+        plan.append_owned(b"x" * 64)
+        assert plan.to_bytes() is plan.to_bytes()
+
+    def test_memoryview_buffers_join(self):
+        data = b"0123456789"
+        plan = WirePlan()
+        plan.append_shared(memoryview(data)[2:5])
+        assert plan.to_bytes() == b"234"
+
+
+class TestHttpResponseWirePlan:
+    def make_plan(self, payload=b"<xml>body</xml>"):
+        plan = WirePlan()
+        plan.append_shared(payload)
+        return plan
+
+    def test_wire_buffers_share_plan_segments(self):
+        payload = b"<xml>" + b"z" * 100 + b"</xml>"
+        plan = self.make_plan(payload)
+        response = HttpResponse(200, Headers(), plan)
+        buffers = response.wire_buffers()
+        # The payload segment rides along by reference, not as a copy,
+        # after the (also unjoined) status line + header lines.
+        assert any(part is payload for part in buffers)
+        assert b"".join(buffers) == response.to_bytes()
+
+    def test_content_length_header_and_property(self):
+        plan = self.make_plan()
+        response = HttpResponse(200, Headers(), plan)
+        assert response.content_length == len(plan.to_bytes())
+        assert response.headers.get("Content-Length") == str(response.content_length)
+
+    def test_body_property_materializes(self):
+        plan = self.make_plan(b"abc")
+        response = HttpResponse(200, Headers(), plan)
+        assert response.body == b"abc"
+        assert response.wire_plan is plan
+
+    def test_plain_bytes_body_has_no_plan(self):
+        response = HttpResponse(200, Headers(), b"plain")
+        assert response.wire_plan is None
+        assert response.wire_buffers()[-1] == b"plain"
+
+    def test_headers_preset_equals_normal_construction(self):
+        normal = Headers([("Content-Type", "text/plain"), ("X-N", "1")])
+        preset = Headers.preset([("Content-Type", "text/plain"), ("X-N", "1")])
+        assert list(normal) == list(preset)
+
+
+class TestConnectionSendv:
+    def test_sendv_delivers_joined_stream(self):
+        sim = Simulator()
+        network = Network(sim)
+        a = Host(network, "a", LAN_PROFILE, segment="campus")
+        b = Host(network, "b", LAN_PROFILE, segment="campus")
+        listener = b.listen(7000)
+        received = []
+
+        def server():
+            connection = yield listener.accept()
+            received.append((yield connection.recv()))
+
+        def client():
+            connection = yield a.connect("b", 7000)
+            yield connection.sendv([b"one,", memoryview(b"two,"), bytearray(b"three")])
+
+        sim.process(server())
+        sim.run_until_complete(sim.process(client()))
+        sim.run(until=sim.now + 5)
+        assert received == [b"one,two,three"]
+
+    def test_sendv_counts_total_bytes(self):
+        sim = Simulator()
+        network = Network(sim)
+        a = Host(network, "a", LAN_PROFILE, segment="campus")
+        b = Host(network, "b", LAN_PROFILE, segment="campus")
+        listener = b.listen(7000)
+
+        def server():
+            connection = yield listener.accept()
+            yield connection.recv()
+
+        def client():
+            connection = yield a.connect("b", 7000)
+            yield connection.sendv([b"12345", b"678"])
+            return connection
+
+        sim.process(server())
+        connection = sim.run_until_complete(sim.process(client()))
+        assert connection.bytes_sent == 8
+
+
+class TestWireTemplates:
+    def test_split_wire_template_round_trips(self):
+        _sim, _browser, agent = build_agent(False)
+        xml = agent._ensure_generated("alice")
+        template = split_wire_template(xml)
+        assert template is not None
+        joined = (
+            b"".join(bytes(b) for b in template.pre)
+            + EMPTY_ACTIONS_WIRE
+            + b"".join(bytes(b) for b in template.post)
+        )
+        assert joined == xml.encode("utf-8")
+
+    def test_split_wire_template_none_without_user_actions(self):
+        assert split_wire_template("<newContent></newContent>") is None
+
+    def test_delta_template_matches_legacy_builder(self):
+        from repro.core.xmlformat import NewContent, build_envelope
+
+        ops_json = json.dumps([{"op": "text", "sec": "body", "path": [0], "data": "x"}])
+        content = NewContent(
+            7, user_actions_json="[]", base_time=3, delta_ops_json=ops_json
+        )
+        template = wire_delta_template(7, 3, ops_json)
+        plan = BroadcastPlan(template, is_delta=True)
+        assert plan.personalize(None).to_bytes() == build_envelope(content).encode(
+            "utf-8"
+        )
+
+
+class TestBatchedByteIdentity:
+    """Legacy and batched pipelines must emit identical bytes."""
+
+    def pair(self, **kwargs):
+        _siml, browser_l, agent_l = build_agent(False, **kwargs)
+        _simb, browser_b, agent_b = build_agent(True, **kwargs)
+        assert agent_l.doc_time == agent_b.doc_time
+        return browser_l, agent_l, browser_b, agent_b
+
+    def test_full_envelope_no_actions(self):
+        _bl, agent_l, _bb, agent_b = self.pair()
+        legacy, d1, _ = body_bytes(agent_l, "alice", 0, [])
+        batched, d2, response = body_bytes(agent_b, "alice", 0, [])
+        assert legacy == batched
+        assert (d1, d2) == (False, False)
+        assert response.wire_plan is not None
+
+    def test_full_envelope_with_actions(self):
+        _bl, agent_l, _bb, agent_b = self.pair()
+        actions = [MouseMoveAction(5, 9), MouseMoveAction(1, 2)]
+        legacy, _, _ = body_bytes(agent_l, "alice", 0, actions)
+        batched, _, _ = body_bytes(agent_b, "alice", 0, actions)
+        assert legacy == batched
+
+    def test_delta_envelope_after_edit(self):
+        browser_l, agent_l, browser_b, agent_b = self.pair()
+        base = agent_l.doc_time
+        # Serve once at the base state so it enters the snapshot ring.
+        body_bytes(agent_l, "alice", 0, [])
+        body_bytes(agent_b, "alice", 0, [])
+        edit_headline(browser_l, "updated")
+        edit_headline(browser_b, "updated")
+        legacy, d1, _ = body_bytes(agent_l, "alice", base, [MouseMoveAction(3, 4)])
+        batched, d2, _ = body_bytes(agent_b, "alice", base, [MouseMoveAction(3, 4)])
+        assert legacy == batched
+        assert (d1, d2) == (True, True)
+
+    def test_broadcast_shared_actions_identity(self):
+        browser_l, agent_l, browser_b, agent_b = self.pair()
+        base = agent_l.doc_time
+        body_bytes(agent_l, "m1", 0, [])
+        body_bytes(agent_b, "m1", 0, [])
+        edit_headline(browser_l, "tick")
+        edit_headline(browser_b, "tick")
+        shared = [MouseMoveAction(7, 7)]
+        for member in ("m0", "m1", "m2", "m3"):
+            their_time = 0 if member in ("m0", "m2") else base
+            legacy, _, _ = body_bytes(agent_l, member, their_time, shared)
+            batched, _, _ = body_bytes(agent_b, member, their_time, shared)
+            assert legacy == batched, member
+
+    def test_no_snapshot_fallback_identity_and_events(self):
+        events_l, events_b = EventBus(), EventBus()
+        _bl, agent_l, _bb, agent_b = None, None, None, None
+        browser_l_world = build_agent(False, events=events_l)
+        browser_b_world = build_agent(True, events=events_b)
+        agent_l, agent_b = browser_l_world[2], browser_b_world[2]
+        fallbacks_l, fallbacks_b = [], []
+        events_l.subscribe(
+            lambda e: fallbacks_l.append(e) if e.type == DELTA_FALLBACK else None
+        )
+        events_b.subscribe(
+            lambda e: fallbacks_b.append(e) if e.type == DELTA_FALLBACK else None
+        )
+        # their_time=999 was never snapshotted: both must fall back to
+        # the full envelope and emit one DELTA_FALLBACK per serve.
+        for member in ("m0", "m1"):
+            legacy, d1, _ = body_bytes(agent_l, member, 999, [])
+            batched, d2, _ = body_bytes(agent_b, member, 999, [])
+            assert legacy == batched
+            assert (d1, d2) == (False, False)
+        assert len(fallbacks_l) == len(fallbacks_b) == 2
+        assert {e.data["reason"] for e in fallbacks_b} == {"no-snapshot"}
+        assert agent_l.stats["delta_fallbacks"] == agent_b.stats["delta_fallbacks"] == 2
+
+    def test_oversize_fallback_identity(self):
+        browser_l, agent_l, browser_b, agent_b = self.pair()
+        base = agent_l.doc_time
+        body_bytes(agent_l, "alice", 0, [])
+        body_bytes(agent_b, "alice", 0, [])
+
+        def rewrite_everything(document):
+            body = document.body
+            for child in list(body.children):
+                body.remove_child(child)
+            for i in range(40):
+                body.append_child(
+                    document.create_element("div", id="new-%d" % i)
+                )
+
+        browser_l.mutate_document(rewrite_everything)
+        browser_b.mutate_document(rewrite_everything)
+        legacy, d1, _ = body_bytes(agent_l, "alice", base, [])
+        batched, d2, _ = body_bytes(agent_b, "alice", base, [])
+        assert legacy == batched
+        assert d1 == d2  # same full-vs-delta verdict from both pipelines
+        assert (
+            agent_l.stats["delta_fallbacks"] == agent_b.stats["delta_fallbacks"]
+        )
+
+    def test_cookie_replication_identity(self):
+        browser_l, agent_l, browser_b, agent_b = self.pair(replicate_cookies=True)
+        for browser in (browser_l, browser_b):
+            browser.cookie_jar.set("site.com", "sid", "s3cr3t")
+        edit_headline(browser_l, "with-cookies")
+        edit_headline(browser_b, "with-cookies")
+        legacy, _, _ = body_bytes(agent_l, "alice", 0, [])
+        batched, _, _ = body_bytes(agent_b, "alice", 0, [])
+        assert legacy == batched
+        assert b"docCookies" in batched
+
+    def test_always_resend_force_full_identity(self):
+        _bl, agent_l, _bb, agent_b = self.pair()
+        current = agent_l.doc_time
+        legacy, _, _ = body_bytes(
+            agent_l, "alice", current, [MouseMoveAction(1, 1)], force_full=True
+        )
+        batched, _, _ = body_bytes(
+            agent_b, "alice", current, [MouseMoveAction(1, 1)], force_full=True
+        )
+        assert legacy == batched
+
+    def test_stats_parity_over_poll_sequence(self):
+        browser_l, agent_l, browser_b, agent_b = self.pair()
+        members = ["m%d" % i for i in range(6)]
+        acked = {m: 0 for m in members}
+        for tick in range(4):
+            edit_headline(browser_l, "tick-%d" % tick)
+            edit_headline(browser_b, "tick-%d" % tick)
+            shared = [MouseMoveAction(tick, tick)]
+            for index, member in enumerate(members):
+                their_time = acked[member]
+                actions = shared if index % 2 == 0 else []
+                legacy, _, _ = body_bytes(agent_l, member, their_time, actions)
+                batched, _, _ = body_bytes(agent_b, member, their_time, actions)
+                assert legacy == batched
+                if index % 3 != 2:  # stragglers never ack
+                    acked[member] = agent_l.doc_time
+        for key in ("delta_fallbacks", "delta_bytes_saved"):
+            assert agent_l.stats[key] == agent_b.stats[key], key
+
+    def test_batched_instruments_progress(self):
+        browser_b, agent_b = build_agent(True)[1:]
+        edit_headline(browser_b, "tick")
+        for member in ("m0", "m1", "m2"):
+            body_bytes(agent_b, member, 0, [])
+        stats = agent_b.stats
+        assert stats["serve_plans_built"] >= 1
+        assert stats["serve_batched_polls"] >= 2
+        assert stats["wire_bytes_zero_copy"] > 0
+        assert stats["serve_amortization"] > 1.0
+
+
+class TestLegacyToggle:
+    def test_disabled_agent_serves_str_path(self):
+        _sim, browser, agent = build_agent(False)
+        edit_headline(browser, "x")
+        body, _ = agent._serve_body("alice", 0, [])
+        assert isinstance(body, str)
+        response = agent._respond(body)
+        assert response.wire_plan is None
+        assert agent._wire_templates == {}
+        assert agent._plans == {}
+        assert agent.stats["serve_plans_built"] == 0
+
+    def test_disabled_generator_skips_segment_encoding(self):
+        _sim, _browser, agent = build_agent(False)
+        agent._ensure_generated("alice")
+        # Legacy path never asks for segment bytes.
+        assert agent._wire_templates == {}
+
+    def test_mid_session_toggle_still_serves_identical_bytes(self):
+        _siml, browser_l, agent_l = build_agent(False)
+        _simb, browser_b, agent_b = build_agent(False)
+        edit_headline(browser_l, "flip")
+        edit_headline(browser_b, "flip")
+        agent_b.enable_batched_serve = True  # no segment bytes cached yet
+        legacy, _, _ = body_bytes(agent_l, "alice", 0, [])
+        batched, _, response = body_bytes(agent_b, "alice", 0, [])
+        assert legacy == batched
+
+
+class TestPlanFallbackMemo:
+    def test_fallback_is_remembered_not_rediffed(self):
+        _sim, browser, agent = build_agent(True)
+        edit_headline(browser, "x")
+        agent._serve_body("m0", 999, [])
+        mode_key = agent.cache_policy.mode_key("m0")
+        entry = agent._plans[(999, mode_key)]
+        assert isinstance(entry, PlanFallback)
+        assert entry.reason == "no-snapshot"
+        # A co-due member hits the memo; fallback stats still replay.
+        before = agent.stats["delta_fallbacks"]
+        agent._serve_body("m1", 999, [])
+        assert agent._plans[(999, mode_key)] is entry
+        assert agent.stats["delta_fallbacks"] == before + 1
+
+
+class TestServeOverHttp:
+    def test_poll_over_wire_parses_and_matches_legacy(self):
+        from repro.core import parse_envelope
+        from repro.http import HttpClient
+
+        responses = {}
+        for batched in (False, True):
+            sim, browser, agent = build_agent(batched)
+            edit_headline(browser, "wire-check")
+            part = Host(
+                browser.host.network, "part-pc-%d" % batched, LAN_PROFILE,
+                segment="campus",
+            )
+            client = HttpClient(part)
+            payload = json.dumps(
+                {"participant": "alice", "timestamp": 0, "actions": []}
+            ).encode()
+
+            def poll():
+                return (
+                    yield from client.post("http://host-pc:3000/poll", body=payload)
+                )
+
+            response = sim.run_until_complete(sim.process(poll()))
+            assert response.status == 200
+            responses[batched] = response
+        assert responses[True].body == responses[False].body
+        envelope = parse_envelope(responses[True].text())
+        assert envelope.doc_time > 0
