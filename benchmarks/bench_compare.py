@@ -6,7 +6,9 @@ Walks the ``*.txt`` renderings of two results directories, extracts the
 a GitHub-flavored markdown table of baseline vs current with the
 relative change.  Files without a parsable figure are compared by
 content (``same`` / ``changed``) so layout-only renderings still show
-up in the report.
+up in the report.  ``*.json`` artifacts (e.g. the transport frontier)
+are compared by canonical dump, so key reordering or indentation churn
+does not read as drift.
 
 Usage (nightly workflow)::
 
@@ -20,6 +22,7 @@ directory is unreadable; hard floors are the perf-gate's job
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -30,13 +33,26 @@ DRIFT_FLAG = 0.15
 
 
 def _figures(directory: str) -> dict:
-    """Map rendering name -> (figure or None, raw text) for ``*.txt``."""
+    """Map rendering name -> (figure or None, comparable text).
+
+    Covers ``*.txt`` renderings and ``*.json`` artifacts.  JSON files
+    never carry an ops/s headline; they are normalized to a canonical
+    dump and compared by content, falling back to the raw bytes when a
+    file does not parse.
+    """
     out = {}
     for name in sorted(os.listdir(directory)):
-        if not name.endswith(".txt"):
+        if not name.endswith((".txt", ".json")):
             continue
         with open(os.path.join(directory, name)) as handle:
             text = handle.read()
+        if name.endswith(".json"):
+            try:
+                text = json.dumps(json.loads(text), indent=2, sort_keys=True)
+            except ValueError:
+                pass
+            out[name] = (None, text)
+            continue
         try:
             figure = parse_metric(text)
         except GuardError:

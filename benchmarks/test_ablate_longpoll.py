@@ -2,11 +2,16 @@
 
 The paper chooses plain polling and explicitly sends empty responses
 "to avoid hanging requests" (§4.1.1), rejecting push emulation for its
-complexity and reliability cost.  This ablation implements the hanging
-variant (the agent holds a poll open until the document changes) and
+complexity and reliability cost.  This ablation runs the hanging
+variant through the real transport layer (``transport="longpoll"``:
+the agent parks empty-handed polls until the document changes) and
 measures what the decision traded: long polling achieves near-instant
 synchronization with far fewer requests, at the cost of held-open
 server state — quantifying the latency the paper's simplicity bought.
+
+The full coherence-vs-load frontier (including streamed push and the
+adaptive controller) lives in test_ablate_transport.py; this file keeps
+the paper-facing two-variant comparison.
 """
 
 from repro.core import CoBrowsingSession
@@ -32,10 +37,8 @@ def measure(long_poll):
     session = CoBrowsingSession(
         testbed.host_browser,
         poll_interval=1.0,
-        agent=None if not long_poll else None,
+        transport="longpoll" if long_poll else "poll",
     )
-    if long_poll:
-        session.agent.long_poll_timeout = 25.0
     sim = testbed.sim
     outcome = {}
 

@@ -1,0 +1,339 @@
+"""Ablation: the coherence-vs-load frontier across transports at N=1k.
+
+Bozdag, Mesbah & van Deursen's push-vs-pull comparison frames Ajax data
+delivery as a trade between **data coherence** (how stale a client's
+view may get) and **server load** (requests the host absorbs).  This
+benchmark reproduces that frontier on the RCB stack with a 1000-member
+fleet driving the agent's poll endpoint directly (no network substrate,
+so the numbers isolate transport policy, not socket mechanics):
+
+* ``poll``      — the paper's choice: cheapest in requests, worst in
+                  staleness (bounded by the poll interval).
+* ``longpoll``  — comet: staleness collapses to ~0, requests track the
+                  change rate.
+* ``push``      — streamed multi-envelope push with a linger tuned to
+                  batch two changes per stream: requests halve vs
+                  long poll while staleness sits between the extremes.
+* ``adaptive``  — everyone starts on poll; the
+                  :class:`AdaptiveTransportController` escalates members
+                  whose sampled ``staleness_p95`` breaches, and the
+                  fleet settles near the frontier's knee on its own.
+
+Writes both a rendered table (``ablation_transport.txt``) and the raw
+frontier (``ablation_transport.json``) for the nightly comparison.
+"""
+
+import json
+import re
+
+from repro.browser import Browser
+from repro.core import RCBAgent, PushTransport
+from repro.core.transport import (
+    AdaptiveTransportController,
+    TRANSPORT_HEADER,
+)
+from repro.html import Text
+from repro.http import HttpRequest
+from repro.net import LAN_PROFILE, Host, Network
+from repro.obs import EventBus
+from repro.obs.health import HealthMonitor, default_rules
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+from conftest import write_result
+
+MEMBERS = 1000
+WINDOW = 15.0          # measured portion of the run
+WARMUP = 5.0           # excluded: adaptive needs time to settle
+CHANGE_INTERVAL = 0.5  # host edits twice a second
+POLL_INTERVAL = 1.0
+SAMPLE_INTERVAL = 0.25
+
+_DOC_TIME = re.compile(rb"<docTime>(\d+)</docTime>")
+
+PAGE = (
+    "<html><head><title>Frontier</title></head><body>"
+    "<div id='tick'>tick 0</div>"
+    + "".join("<p id='p%d'>paragraph %d</p>" % (i, i) for i in range(6))
+    + "</body></html>"
+)
+
+
+def build_host(transport):
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page("/", PAGE)
+    OriginServer(network, "site.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    browser = Browser(host_pc, name="host")
+    agent = RCBAgent(transport=transport, poll_interval=POLL_INTERVAL)
+    agent.install(browser)
+    sim.run_until_complete(sim.process(browser.navigate("http://site.com/")))
+    return sim, browser, agent
+
+
+class _FleetSession:
+    """The slice of CoBrowsingSession the monitor/controller consume."""
+
+    def __init__(self, sim, agent, acked):
+        self.sim = sim
+        self.agent = agent
+        self.metrics = agent.metrics
+        self.events = EventBus()
+        self.branching = None
+        self._acked = acked
+
+    def member_times(self):
+        return dict(self._acked)
+
+
+def drive_fleet(label, transport, adaptive=False):
+    """Run one fleet; return {staleness_p95_ms, requests_per_s, ...}."""
+    sim, browser, agent = build_host(transport)
+    acked = {}
+    member_modes = {}
+    requests = {"total": 0, "measured": 0}
+    staleness_samples = []
+
+    def member(pid, offset):
+        yield sim.timeout(offset)
+        acked[pid] = 0
+        while True:
+            payload = json.dumps(
+                {"participant": pid, "timestamp": acked[pid], "actions": []}
+            ).encode()
+            request = HttpRequest("POST", "/poll", None, payload)
+            response = yield from agent._poll_response(request, pid)
+            requests["total"] += 1
+            if sim.now >= WARMUP:
+                requests["measured"] += 1
+            granted = response.headers.get(TRANSPORT_HEADER)
+            if granted is not None:
+                member_modes[pid] = granted
+            times = _DOC_TIME.findall(response.body)
+            if times:
+                acked[pid] = int(times[-1])
+            if member_modes[pid] == "poll":
+                yield sim.timeout(POLL_INTERVAL)
+            else:
+                # Held transports re-poll immediately: pacing comes from
+                # the server parking the empty-handed request.
+                yield sim.timeout(0.0)
+
+    def changes():
+        tick = 0
+        while True:
+            yield sim.timeout(CHANGE_INTERVAL)
+            tick += 1
+            browser.mutate_document(
+                lambda doc, tick=tick: (
+                    doc.get_element_by_id("tick").remove_all_children(),
+                    doc.get_element_by_id("tick").append_child(
+                        Text("tick %d" % tick)
+                    ),
+                )
+            )
+
+    def sampler():
+        # Phase-shifted off the change grid: sampling co-timed with a
+        # change reads the one-tick-behind state of members whose
+        # release is still in that instant's FIFO, quantizing staleness
+        # to the change interval.
+        yield sim.timeout(0.1)
+        while True:
+            yield sim.timeout(SAMPLE_INTERVAL)
+            if sim.now < WARMUP:
+                continue
+            host_time = agent.doc_time
+            for pid, member_time in acked.items():
+                staleness_samples.append(float(max(0, host_time - member_time)))
+
+    controller = None
+    if adaptive:
+        shim = _FleetSession(sim, agent, acked)
+        monitor = HealthMonitor(
+            shim,
+            events=shim.events,
+            rules=default_rules()[:1],  # staleness only
+            window=3.0,
+            sample_interval=SAMPLE_INTERVAL,
+        )
+        controller = AdaptiveTransportController(
+            shim,
+            monitor,
+            agent=agent,
+            check_interval=0.5,
+            dwell=5.0,
+            escalate_after=2,
+            # Below the workload's staleness quantum (one change interval
+            # = 500 ms): every poll-mode member breaches and escalates.
+            stale_breach_ms=400.0,
+            stale_clear_ms=200.0,
+            host_poll_budget=4.0 * MEMBERS / POLL_INTERVAL,
+        )
+
+        def control_loop():
+            yield sim.timeout(0.1)  # same phase shift as the sampler
+            while True:
+                yield sim.timeout(SAMPLE_INTERVAL)
+                monitor.sample()
+                if int(sim.now / SAMPLE_INTERVAL) % 2 == 0:
+                    controller.check()
+
+        sim.process(control_loop())
+
+    base_mode = agent.transport.mode
+    for index in range(MEMBERS):
+        pid = "m%04d" % index
+        member_modes[pid] = base_mode
+        # Stagger arrivals across one poll interval.
+        sim.process(member(pid, (index % 100) * (POLL_INTERVAL / 100.0)))
+    sim.process(changes())
+    sim.process(sampler())
+    sim.run(until=WARMUP + WINDOW)
+
+    staleness_samples.sort()
+    p95 = (
+        staleness_samples[int(0.95 * len(staleness_samples))]
+        if staleness_samples
+        else 0.0
+    )
+    return {
+        "mode": label,
+        "staleness_p95_ms": round(p95, 3),
+        "requests_per_s": round(requests["measured"] / WINDOW, 1),
+        "held_polls_open": agent.stats["held_polls_open"],
+        "push_envelopes_streamed": agent.stats["push_envelopes_streamed"],
+        "transport_switches": agent.stats["transport_switches"],
+        "controller_switches": len(controller.switches) if controller else 0,
+    }
+
+
+def test_transport_frontier(benchmark, results_dir):
+    def frontier():
+        return {
+            "poll": drive_fleet("poll", "poll"),
+            "longpoll": drive_fleet("longpoll", "longpoll"),
+            "push": drive_fleet(
+                "push",
+                # Linger past one change interval so streams batch two
+                # changes per response: half long-poll's request rate.
+                PushTransport(max_envelopes=2, stream_linger=0.6),
+            ),
+            "adaptive": drive_fleet("adaptive", "poll", adaptive=True),
+        }
+
+    modes = benchmark.pedantic(frontier, rounds=1, iterations=1)
+
+    artifact = {
+        "config": {
+            "members": MEMBERS,
+            "window_s": WINDOW,
+            "warmup_s": WARMUP,
+            "change_interval_s": CHANGE_INTERVAL,
+            "poll_interval_s": POLL_INTERVAL,
+        },
+        "modes": modes,
+    }
+    with open(
+        "%s/ablation_transport.json" % results_dir, "w"
+    ) as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+
+    rows = [
+        "Ablation: transport coherence-vs-load frontier (N=%d members)" % MEMBERS,
+        "%-10s %18s %14s %10s" % ("mode", "staleness p95", "requests/s", "switches"),
+    ]
+    for name in ("poll", "longpoll", "push", "adaptive"):
+        m = modes[name]
+        rows.append(
+            "%-10s %16.0fms %14.1f %10d"
+            % (
+                name,
+                m["staleness_p95_ms"],
+                m["requests_per_s"],
+                m["controller_switches"],
+            )
+        )
+    write_result(results_dir, "ablation_transport.txt", "\n".join(rows))
+
+    poll, longpoll, push, adaptive = (
+        modes["poll"], modes["longpoll"], modes["push"], modes["adaptive"],
+    )
+    # Coherence: both held transports beat interval polling.
+    assert longpoll["staleness_p95_ms"] < poll["staleness_p95_ms"]
+    assert push["staleness_p95_ms"] < poll["staleness_p95_ms"]
+    # Load: interval polling is the cheapest in requests.
+    assert poll["requests_per_s"] <= longpoll["requests_per_s"]
+    assert poll["requests_per_s"] <= push["requests_per_s"]
+    # Push batching showed up on the wire.
+    assert push["push_envelopes_streamed"] > 0
+
+    # The adaptive fleet settles near the frontier's knee: the static
+    # mode minimizing normalized staleness x requests.
+    statics = [poll, longpoll, push]
+    max_stale = max(m["staleness_p95_ms"] for m in statics) or 1.0
+    max_reqs = max(m["requests_per_s"] for m in statics) or 1.0
+    knee = min(
+        statics,
+        key=lambda m: (m["staleness_p95_ms"] / max_stale)
+        * (m["requests_per_s"] / max_reqs),
+    )
+    assert adaptive["staleness_p95_ms"] <= 1.5 * knee["staleness_p95_ms"] + 100.0
+    assert adaptive["requests_per_s"] <= 1.5 * knee["requests_per_s"] + 0.5
+    # And it got there by actually switching members: essentially the
+    # whole fleet escalated off interval polling.
+    assert adaptive["controller_switches"] >= 0.9 * MEMBERS
+    assert adaptive["transport_switches"] > 0
+
+
+def test_longpoll_zero_copy_floor(benchmark, results_dir):
+    """Held polls released into a broadcast plan still serve zero-copy:
+    the perf-gate floors ``wire_bytes_zero_copy`` under long poll."""
+
+    def serve_held():
+        sim, browser, agent = build_host("longpoll")
+        done = []
+
+        def member(pid):
+            acked = 0
+            for _ in range(3):
+                payload = json.dumps(
+                    {"participant": pid, "timestamp": acked, "actions": []}
+                ).encode()
+                request = HttpRequest("POST", "/poll", None, payload)
+                response = yield from agent._poll_response(request, pid)
+                times = _DOC_TIME.findall(response.body)
+                if times:
+                    acked = int(times[-1])
+            done.append(pid)
+
+        for index in range(8):
+            sim.process(member("h%d" % index))
+        for tick in range(3):
+            sim.run(until=sim.now + 0.4)
+            browser.mutate_document(
+                lambda doc, tick=tick: (
+                    doc.get_element_by_id("tick").remove_all_children(),
+                    doc.get_element_by_id("tick").append_child(
+                        Text("held %d" % tick)
+                    ),
+                )
+            )
+        sim.run(until=sim.now + 1.0)
+        return agent
+
+    agent = benchmark.pedantic(serve_held, rounds=1, iterations=1)
+    zero_copy = agent.stats["wire_bytes_zero_copy"]
+    batched = agent.stats["serve_batched_polls"]
+    text = "\n".join(
+        [
+            "Held-poll zero-copy serve (8 members, long poll, 3 releases)",
+            "wire_bytes_zero_copy=%d" % zero_copy,
+            "serve_batched_polls=%d" % batched,
+        ]
+    )
+    write_result(results_dir, "transport_longpoll_serve.txt", text)
+    assert zero_copy > 0
+    assert batched > 0

@@ -40,6 +40,7 @@ from ..obs import (
     MEMBER_JOIN,
     MEMBER_LEAVE,
     POLL_SERVED,
+    TRANSPORT_SWITCH,
     EventBus,
     MetricsRegistry,
     SpanContext,
@@ -48,7 +49,7 @@ from ..obs import (
     format_trace_header,
 )
 from ..obs.trace import TRACE_HEADER
-from ..sim import Interrupt, StoreClosed
+from ..sim import AnyOf, Interrupt, StoreClosed
 from .actions import (
     ActionError,
     ClickAction,
@@ -67,7 +68,18 @@ from .content import AGENT_OBJECT_PATH, ContentGenerator
 from .delta import content_tree, diff_trees
 from .policy import ModerationPolicy, OpenPolicy, PendingAction
 from .security import Authenticator
-from .serveplan import BroadcastPlan, PlanFallback
+from .serveplan import BroadcastPlan, PlanFallback, merge_wire_bodies
+from .transport import (
+    MODE_INDEX,
+    TRANSPORT_HEADER,
+    TRANSPORT_MODES,
+    TRANSPORT_POLL,
+    IntervalPollTransport,
+    LongPollTransport,
+    Transport,
+    coerce_transport,
+    transport_for_mode,
+)
 from .xmlformat import (
     NewContent,
     build_envelope,
@@ -102,6 +114,10 @@ class ParticipantState:
         self.content_responses = 0
         #: Host/participant actions queued for delivery to this participant.
         self.outbound_actions: List[UserAction] = []
+        #: Events releasing this member's held poll early (queued
+        #: outbound actions, transport switches) — doc-time advances
+        #: release every held poll through the agent's global list.
+        self.wake_events: List = []
 
     def __repr__(self):
         return "ParticipantState(%s, %d polls)" % (self.participant_id, self.polls)
@@ -122,6 +138,7 @@ class RCBAgent(BrowserExtension):
         secret: Optional[str] = None,
         poll_interval: float = 1.0,
         long_poll_timeout: Optional[float] = None,
+        transport=None,
         always_resend: bool = False,
         replicate_cookies: bool = False,
         generation_cost_per_kb: float = 0.0,
@@ -147,9 +164,21 @@ class RCBAgent(BrowserExtension):
         self._auth = Authenticator(secret)
         #: Poll interval advertised to participants on the initial page.
         self.poll_interval = poll_interval
-        #: Ablation: hold polls open until content changes ("hanging
-        #: requests", the push emulation the paper decided against).
-        self.long_poll_timeout = long_poll_timeout
+        #: The default delivery strategy (``RCB_TRANSPORT`` when the
+        #: argument is None).  ``long_poll_timeout`` is the legacy
+        #: spelling of a long-poll transport and still works.
+        if transport is None and long_poll_timeout is not None:
+            transport = LongPollTransport(hold_timeout=long_poll_timeout)
+        self.transport = coerce_transport(transport)
+        #: Per-member transport overrides (set by the adaptive
+        #: controller or :meth:`set_member_transport`); they outrank
+        #: both the client's requested mode and the agent default.
+        self._member_transports: Dict[str, Transport] = {}
+        #: Shared default-parameter instances for client-requested modes.
+        self._mode_transports: Dict[str, Transport] = {}
+        #: Last mode reported to the per-member ``transport_mode`` gauge.
+        self._member_mode_seen: Dict[str, str] = {}
+        self._held_open = 0
         #: Ablation: disable the timestamp protocol and resend the full
         #: content on every poll.
         self.always_resend = always_resend
@@ -278,11 +307,14 @@ class RCBAgent(BrowserExtension):
                 "serve_batched_polls",
                 "wire_bytes_zero_copy",
                 "wire_bytes_copied",
+                "push_envelopes_streamed",
+                "transport_switches",
             ),
             gauges=(
                 "last_generation_seconds",
                 "generation_reuse_ratio",
                 "serve_amortization",
+                "held_polls_open",
             ),
             histograms=("generation_seconds",),
         )
@@ -372,6 +404,102 @@ class RCBAgent(BrowserExtension):
     def cache_mode(self, value) -> None:
         """Assigning a bool or policy replaces the cache policy."""
         self.cache_policy = coerce_cache_policy(value)
+
+    # -- transports -----------------------------------------------------------------------
+
+    @property
+    def long_poll_timeout(self) -> Optional[float]:
+        """Legacy view of the default transport: the hold timeout when
+        it holds connections open, None for interval polling."""
+        return self.transport.hold_timeout if self.transport.holds else None
+
+    @long_poll_timeout.setter
+    def long_poll_timeout(self, value: Optional[float]) -> None:
+        if value is None:
+            self.transport = IntervalPollTransport()
+        else:
+            self.transport = LongPollTransport(hold_timeout=value)
+
+    def transport_mode_for(self, participant_id: str) -> str:
+        """The mode currently governing one member's polls: a controller
+        override, else the mode last granted in negotiation (a client may
+        request above the default), else the agent default."""
+        override = self._member_transports.get(participant_id)
+        if override is not None:
+            return override.mode
+        seen = self._member_mode_seen.get(participant_id)
+        if seen is not None:
+            return seen
+        return self.transport.mode
+
+    def set_member_transport(self, participant_id, transport, reason=None) -> Transport:
+        """Override one member's transport (the adaptive controller's
+        lever).  Accepts a mode string or a :class:`Transport`; emits a
+        ``transport.switch`` event and wakes the member's held poll so
+        the switch takes effect on the response in flight, not one poll
+        later."""
+        if isinstance(transport, str):
+            transport = transport_for_mode(transport)
+        elif not isinstance(transport, Transport):
+            raise TypeError("transport must be a mode string or Transport")
+        previous = self.transport_mode_for(participant_id)
+        self._member_transports[participant_id] = transport
+        if transport.mode != previous:
+            self.stats.inc("transport_switches")
+            self._note_member_mode(participant_id, transport.mode)
+            self._emit(
+                TRANSPORT_SWITCH,
+                participant=participant_id,
+                from_mode=previous,
+                to_mode=transport.mode,
+                reason=reason,
+            )
+            state = self.participants.get(participant_id)
+            if state is not None:
+                self._wake_member(state)
+        return transport
+
+    def clear_member_transport(self, participant_id: str) -> None:
+        """Drop a member's override; negotiation rules apply again."""
+        self._member_transports.pop(participant_id, None)
+
+    def _granted_transport(self, participant_id: str, requested) -> Transport:
+        """Negotiate one poll's transport: a member override outranks
+        the client's requested mode, which outranks the agent default.
+        Also keeps the per-member ``transport_mode`` gauge current."""
+        override = self._member_transports.get(participant_id)
+        if override is not None:
+            granted = override
+        elif requested in TRANSPORT_MODES and requested != self.transport.mode:
+            granted = self._shared_mode_transport(requested)
+        else:
+            granted = self.transport
+        self._note_member_mode(participant_id, granted.mode)
+        return granted
+
+    def _shared_mode_transport(self, mode: str) -> Transport:
+        transport = self._mode_transports.get(mode)
+        if transport is None:
+            transport = self._mode_transports[mode] = transport_for_mode(mode)
+        return transport
+
+    def _note_member_mode(self, participant_id: str, mode: str) -> None:
+        if self._member_mode_seen.get(participant_id) == mode:
+            return
+        self._member_mode_seen[participant_id] = mode
+        self.metrics.gauge(
+            "agent_transport_mode", node=participant_id
+        ).set(MODE_INDEX[mode])
+
+    def _wake_member(self, state: ParticipantState) -> None:
+        """Release a member's held poll early (queued outbound actions,
+        transport switch)."""
+        if not state.wake_events:
+            return
+        events, state.wake_events = state.wake_events, []
+        for event in events:
+            if not event.triggered:
+                event.succeed()
 
     # -- tracing ------------------------------------------------------------------------
 
@@ -531,22 +659,49 @@ class RCBAgent(BrowserExtension):
         else:
             actions = []
 
-        # Step 2: timestamp inspection.
-        outbound = participant.outbound_actions
-        if (
-            self.long_poll_timeout is not None
-            and self._doc_time <= their_time
-            and not outbound
-        ):
-            # Long-poll ablation: hang the request until a change or the
-            # hold timeout, instead of answering empty immediately.
-            from ..sim import AnyOf
+        # Transport negotiation: the client may request a non-default
+        # mode in its payload; a member override (adaptive controller)
+        # outranks both.  The grant travels back in X-RCB-Transport only
+        # when it differs from what the client reported, so the default
+        # exchange stays byte-identical to the plain polling protocol.
+        requested = payload.get("transport")
+        reported = requested if requested in TRANSPORT_MODES else TRANSPORT_POLL
+        granted = self._granted_transport(participant_id, requested)
+        advertise = granted.mode if granted.mode != reported else None
 
-            waiter = self.browser.sim.event()
-            self._change_waiters.append(waiter)
-            hold = self.browser.sim.timeout(self.long_poll_timeout)
-            yield AnyOf(self.browser.sim, [waiter, hold])
+        # Step 2: timestamp inspection.  A poll that piggybacked actions
+        # is never parked — its response acknowledges them, and a held
+        # transport's client sends actions on a second flush request
+        # precisely to get that immediate ack.
+        outbound = participant.outbound_actions
+        if granted.holds and self._doc_time <= their_time and not outbound and not actions:
+            if granted.max_envelopes > 1:
+                # Streamed push: hold and ship every envelope the hold
+                # window produces in one multi-envelope response.
+                response = yield from self._stream_push(
+                    participant, their_time, granted, arrived
+                )
+                # A controller switch may have landed while the stream
+                # was parked: advertise the *current* grant.
+                granted = self._granted_transport(participant_id, requested)
+                advertise = granted.mode if granted.mode != reported else None
+                if response is not None:
+                    return self._with_transport(response, advertise)
+            else:
+                # Long poll ("hanging request"): wait for a change, a
+                # queued outbound action, a transport switch, or the
+                # hold timeout, then fall through to the ordinary serve
+                # branches — a released hold joins the current tick's
+                # broadcast plan like any co-due poll.
+                yield from self._hold_for_change(participant, granted.hold_timeout)
             outbound = participant.outbound_actions
+            granted = self._granted_transport(participant_id, requested)
+            advertise = granted.mode if granted.mode != reported else None
+            if self.browser is None:
+                # Uninstalled while this exchange was parked (a dying
+                # relay): answer empty — the connection is dropping.
+                self.stats.inc("empty_responses")
+                return self._with_transport(self._xml(""), advertise)
         if self.always_resend and self.browser.page is not None:
             participant.outbound_actions = []
             body, _ = self._serve_body(
@@ -566,7 +721,7 @@ class RCBAgent(BrowserExtension):
                 bytes=size,
                 doc_time=self._doc_time,
             )
-            return self._respond(body, context)
+            return self._with_transport(self._respond(body, context), advertise)
         if self._doc_time > their_time and self.browser.page is not None:
             # Step 3: response sending, with new content — a delta
             # envelope when this participant's acknowledged state is
@@ -600,14 +755,120 @@ class RCBAgent(BrowserExtension):
                 bytes=size,
                 doc_time=self._doc_time,
             )
-            return self._respond(body, context)
+            return self._with_transport(self._respond(body, context), advertise)
         if outbound:
             participant.outbound_actions = []
             xml = self._action_only_envelope(outbound)
-            return self._xml(xml)
+            return self._with_transport(self._xml(xml), advertise)
         # No new content: empty response to avoid hanging requests.
         self.stats.inc("empty_responses")
-        return self._xml("")
+        return self._with_transport(self._xml(""), advertise)
+
+    def _hold_for_change(self, participant: ParticipantState, duration: float):
+        """Hang one poll until a document change, a per-member wake
+        (queued outbound action, transport switch), or the hold timeout.
+        Generator; keeps the ``held_polls_open`` gauge current."""
+        sim = self.browser.sim
+        waiter = sim.event()
+        self._change_waiters.append(waiter)
+        participant.wake_events.append(waiter)
+        self._held_open += 1
+        self.stats.set("held_polls_open", self._held_open)
+        try:
+            yield AnyOf(sim, [waiter, sim.timeout(duration)])
+        finally:
+            self._held_open -= 1
+            self.stats.set("held_polls_open", self._held_open)
+            if not waiter.triggered:
+                # Timed out: drop the dangling waiter registrations.
+                if waiter in self._change_waiters:
+                    self._change_waiters.remove(waiter)
+                if waiter in participant.wake_events:
+                    participant.wake_events.remove(waiter)
+
+    def _stream_push(self, participant, their_time, transport, arrived):
+        """Streamed push: hold the connection and capture an envelope on
+        *each* document change, shipping several back to back in one
+        response (the snippet splits on the XML declaration).  Each
+        captured envelope is a delta against the previous one and joins
+        that tick's broadcast plan, so co-due streams share diffs and
+        serialized bodies exactly like released long polls.
+
+        Generator; returns the merged :class:`HttpResponse`, or None
+        when the hold window closed with nothing captured (the caller
+        falls through to the action-only / empty branches).
+        """
+        sim = self.browser.sim
+        participant_id = participant.participant_id
+        base = their_time
+        captured = []
+        last_is_delta = False
+        deadline = sim.now + transport.hold_timeout
+        while True:
+            if self.browser is None:
+                # Uninstalled mid-stream (a dying relay): stop capturing;
+                # the connection underneath is dropping anyway.
+                return None
+            if self._doc_time > base and self.browser.page is not None:
+                outbound = participant.outbound_actions
+                participant.outbound_actions = []
+                generations_before = self._generation_count
+                body, is_delta = self._serve_body(participant_id, base, outbound)
+                size = len(body)
+                if is_delta:
+                    self.stats.inc("delta_responses")
+                    self.stats.inc("delta_bytes_sent", size)
+                else:
+                    self.stats.inc("full_responses")
+                    self.stats.inc("full_bytes_sent", size)
+                if (
+                    self.generation_cost_per_kb > 0
+                    and self._generation_count > generations_before
+                ):
+                    yield sim.timeout(self.generation_cost_per_kb * size / 1024.0)
+                participant.content_responses += 1
+                self.stats.inc("content_responses")
+                captured.append(body)
+                last_is_delta = is_delta
+                base = self._doc_time
+                if len(captured) >= transport.max_envelopes:
+                    break
+                # Linger briefly for a follow-up change to batch, but
+                # never past the hold deadline.
+                deadline = min(deadline, sim.now + transport.stream_linger)
+                continue
+            if participant.outbound_actions:
+                # Actions can't ride a held stream mid-flight; release
+                # so the ordinary branches deliver them.
+                break
+            remaining = deadline - sim.now
+            if remaining <= 1e-9:
+                break
+            yield from self._hold_for_change(participant, remaining)
+        if not captured or self.browser is None:
+            return None
+        self.stats.inc("push_envelopes_streamed", len(captured))
+        body = merge_wire_bodies(captured)
+        total = len(body)
+        context = self._serve_span(arrived, participant_id, last_is_delta, total)
+        self._emit(
+            POLL_SERVED,
+            trace=context,
+            participant=participant_id,
+            kind="push",
+            envelopes=len(captured),
+            bytes=total,
+            doc_time=self._doc_time,
+        )
+        return self._respond(body, context)
+
+    @staticmethod
+    def _with_transport(response: HttpResponse, advertise: Optional[str]) -> HttpResponse:
+        """Stamp the granted mode on a response when it differs from
+        what the client reported; otherwise leave the wire untouched."""
+        if advertise is not None:
+            response.headers.set(TRANSPORT_HEADER, advertise)
+        return response
 
     def _serve_span(
         self, arrived: float, participant_id: str, is_delta: bool, size: int
@@ -659,6 +920,8 @@ class RCBAgent(BrowserExtension):
 
     def disconnect(self, participant_id: str) -> None:
         """Forget a participant and announce the roster change."""
+        self._member_transports.pop(participant_id, None)
+        self._member_mode_seen.pop(participant_id, None)
         if self.participants.pop(participant_id, None) is not None:
             self._emit(
                 MEMBER_LEAVE, participant=participant_id, members=len(self.participants)
@@ -1208,6 +1471,9 @@ class RCBAgent(BrowserExtension):
         for participant_id, state in self.participants.items():
             if participant_id != exclude:
                 state.outbound_actions.append(action)
+                # A held poll must deliver queued actions now, not at
+                # its hold timeout.
+                self._wake_member(state)
 
     # -- authentication ---------------------------------------------------------------------------
 

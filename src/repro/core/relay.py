@@ -87,6 +87,7 @@ class RelayAgent(RCBAgent):
         enable_delta: bool = True,
         delta_history: int = 8,
         enable_batched_serve: bool = True,
+        transport=None,
         poll_backoff: Optional[BackoffPolicy] = None,
         reattach_backoff: Optional[BackoffPolicy] = None,
         fallback_urls: Optional[List[str]] = None,
@@ -103,6 +104,7 @@ class RelayAgent(RCBAgent):
             enable_delta=enable_delta,
             delta_history=delta_history,
             enable_batched_serve=enable_batched_serve,
+            transport=transport,
             metrics=metrics,
             tracer=tracer,
             metrics_node=relay_id,
@@ -119,6 +121,10 @@ class RelayAgent(RCBAgent):
         self.fetch_objects = fetch_objects
         #: Retry pacing for the upstream snippet's failed polls.
         self.poll_backoff = poll_backoff
+        #: Mode the upstream-facing snippet requests.  Starts at this
+        #: relay's own default; tracks the upstream's grants so a
+        #: negotiated mode survives upstream death and re-attachment.
+        self._upstream_mode = self.transport.mode
         #: Jittered pacing between re-attachment attempts after the
         #: upstream died (shared policy with the snippet's poll retry).
         self.reattach_backoff = reattach_backoff or BackoffPolicy(
@@ -205,6 +211,7 @@ class RelayAgent(RCBAgent):
             browser_type=self.browser_type,
             fetch_objects=self.fetch_objects,
             backoff=self.poll_backoff,
+            transport=self._upstream_mode,
             metrics=self.metrics,
             tracer=self.tracer,
             events=self.events,
@@ -226,6 +233,7 @@ class RelayAgent(RCBAgent):
         if previous is not None and previous.connected:
             previous.disconnect()
         self.upstream_url = url
+        self._upstream_mode = snippet.transport_mode
         if self._pending_upstream:
             pending, self._pending_upstream = self._pending_upstream, []
             for action in pending:
@@ -258,9 +266,11 @@ class RelayAgent(RCBAgent):
         self._emit(RELAY_DEATH, reason="upstream-lost", upstream=self.upstream_url)
         dead = self.upstream
         if dead is not None:
-            # Salvage actions the dead channel never delivered.
+            # Salvage actions the dead channel never delivered, and the
+            # negotiated mode so re-attachment resumes it.
             self._pending_upstream.extend(dead._outgoing)
             dead._outgoing = []
+            self._upstream_mode = dead.transport_mode
         self.upstream = None
         if self._reattach_proc is None or not self._reattach_proc.is_alive:
             self._reattach_proc = self.browser.sim.process(self._reattach_loop())

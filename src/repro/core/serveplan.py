@@ -25,7 +25,27 @@ from typing import Optional
 from ..http.wire import WirePlan
 from .xmlformat import EMPTY_ACTIONS_WIRE, WireTemplate
 
-__all__ = ["BroadcastPlan", "PlanFallback"]
+__all__ = ["BroadcastPlan", "PlanFallback", "merge_wire_bodies"]
+
+
+def merge_wire_bodies(bodies):
+    """One response body carrying several envelopes back to back — the
+    streamed-push wire format (the snippet splits on the XML
+    declaration).  All-:class:`~repro.http.wire.WirePlan` inputs merge
+    into one plan by reference, keeping the zero-copy accounting of
+    each captured envelope; any legacy str body degrades the merge to a
+    joined str (the unbatched serve path is str end to end)."""
+    if len(bodies) == 1:
+        return bodies[0]
+    if any(isinstance(body, str) for body in bodies):
+        return "".join(
+            body if isinstance(body, str) else body.to_bytes().decode("utf-8")
+            for body in bodies
+        )
+    merged = WirePlan()
+    for body in bodies:
+        merged.extend_plan(body)
+    return merged
 
 
 class BroadcastPlan:

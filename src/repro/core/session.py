@@ -35,6 +35,7 @@ from .agent import AGENT_DEFAULT_PORT, RCBAgent
 from .policy import ModerationPolicy
 from .relay import RelayAgent
 from .snippet import AjaxSnippet, BackoffPolicy
+from .transport import AdaptiveTransportController
 
 __all__ = ["CoBrowsingSession", "SessionError"]
 
@@ -82,6 +83,7 @@ class CoBrowsingSession:
         agent: Optional[RCBAgent] = None,
         enable_delta: bool = True,
         enable_batched_serve: bool = True,
+        transport=None,
         backoff: Optional[BackoffPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
@@ -98,6 +100,7 @@ class CoBrowsingSession:
                 poll_interval=poll_interval,
                 enable_delta=enable_delta,
                 enable_batched_serve=enable_batched_serve,
+                transport=transport,
                 metrics=metrics,
                 tracer=tracer,
                 metrics_node=host_browser.name,
@@ -189,6 +192,7 @@ class CoBrowsingSession:
             browser_type=browser_type,
             fetch_objects=fetch_objects,
             backoff=self._derive_backoff(participant_id or participant_browser.name),
+            transport=self.agent.transport.mode,
             metrics=self.metrics,
             tracer=self.tracer,
             events=self.events,
@@ -227,6 +231,7 @@ class CoBrowsingSession:
             enable_delta=self.agent.enable_delta,
             delta_history=self.agent.delta_history,
             enable_batched_serve=self.agent.enable_batched_serve,
+            transport=self.agent.transport.mode,
             poll_backoff=self._derive_backoff(member_id),
             reattach_backoff=self._reattach_backoff.derive(member_id),
             on_reattach=self._on_relay_reattach,
@@ -384,6 +389,12 @@ class CoBrowsingSession:
         """Host visits a page (generator process returning the Page)."""
         page = yield from self.host_browser.navigate(url, **kwargs)
         return page
+
+    def adaptive_transport(self, monitor, **kwargs) -> AdaptiveTransportController:
+        """An :class:`~repro.core.transport.AdaptiveTransportController`
+        wired to this session's agent and the given health monitor.  The
+        caller starts it: ``sim.process(controller.run())``."""
+        return AdaptiveTransportController(self, monitor, agent=self.agent, **kwargs)
 
     # -- synchronization barriers -----------------------------------------------------------
 

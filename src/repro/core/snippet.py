@@ -50,11 +50,16 @@ from .actions import (
 from .content import REF_ATTRIBUTE
 from .delta import DeltaError, apply_delta
 from .security import Authenticator
+from .transport import TRANSPORT_HEADER, TRANSPORT_MODES, TRANSPORT_POLL, coerce_transport_mode
 from .xmlformat import EnvelopeError, NewContent, parse_envelope
 
 __all__ = ["AjaxSnippet", "BackoffPolicy", "SnippetStats"]
 
 _SNIPPET_SCRIPT_ID = "ajax-snippet"
+
+#: Every envelope opens with this declaration — the split marker for a
+#: streamed-push response carrying several envelopes back to back.
+_XML_DECL = "<?xml version='1.0' encoding='utf-8'?>"
 
 
 class BackoffPolicy:
@@ -144,6 +149,7 @@ class SnippetStats:
         "action_only_updates",
         "actions_sent",
         "connection_errors",
+        "transport_switches",
     )
     _GAUGES = ("last_sync_seconds", "last_update_seconds", "last_objects_seconds")
     #: Gauge key -> the histogram fed on each assignment.
@@ -209,6 +215,7 @@ class AjaxSnippet:
         browser_type: str = "firefox",
         fetch_objects: bool = True,
         backoff: Optional[BackoffPolicy] = None,
+        transport=None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         events: Optional[EventBus] = None,
@@ -229,6 +236,11 @@ class AjaxSnippet:
         #: Retry pacing after a failed poll.  None: a constant delay of
         #: one poll interval, the original hardcoded behaviour.
         self.backoff = backoff
+        #: Delivery mode this snippet requests ("poll" / "longpoll" /
+        #: "push"; None reads RCB_TRANSPORT).  The agent may grant a
+        #: different mode via the X-RCB-Transport response header, which
+        #: updates this attribute mid-session.
+        self.transport_mode = coerce_transport_mode(transport)
 
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
@@ -246,6 +258,7 @@ class AjaxSnippet:
         self._consecutive_failures = 0
         self._outgoing: List[UserAction] = []
         self._poll_proc = None
+        self._flush_proc = None
         self._connected = False
         #: Called with each batch of host-mirrored actions (UI hook).
         self.on_actions: Optional[Callable[[List[UserAction]], None]] = None
@@ -325,8 +338,9 @@ class AjaxSnippet:
         try:
             # The first request fires as soon as the initial page loaded.
             while self._connected:
+                started = self.sim.now
                 try:
-                    yield from self.poll_once()
+                    applied = yield from self.poll_once()
                 except RequestFailed:
                     # The host is unreachable (agent stopped, network
                     # partition, host machine gone).  Back off and retry;
@@ -343,19 +357,40 @@ class AjaxSnippet:
                     yield self.sim.timeout(self.backoff.delay(self._consecutive_failures))
                     continue
                 self._consecutive_failures = 0
-                yield self.sim.timeout(self.poll_interval)
+                yield self.sim.timeout(
+                    self._next_poll_delay(applied, self.sim.now - started)
+                )
         except Interrupt:
             return
 
-    def poll_once(self):
-        """One polling round trip; returns True if content was applied."""
-        body = json.dumps(
-            {
-                "participant": self.participant_id,
-                "timestamp": self.last_doc_time,
-                "actions": [action.to_dict() for action in self._outgoing],
-            }
-        ).encode("utf-8")
+    def _next_poll_delay(self, applied: bool, elapsed: float) -> float:
+        """Pacing for the next poll.  Interval polling waits the poll
+        interval; held transports (longpoll/push) re-poll immediately
+        after a round trip the agent actually parked or served — but an
+        instantly-empty answer (holds effectively off on the agent)
+        falls back to interval pacing to avoid a busy loop."""
+        if self.transport_mode == TRANSPORT_POLL:
+            return self.poll_interval
+        if applied or elapsed >= 0.5 * self.poll_interval:
+            return 0.0
+        return self.poll_interval
+
+    def poll_once(self, dedicated: bool = False):
+        """One polling round trip; returns True if content was applied.
+
+        ``dedicated`` sends beside the keep-alive connection — the flush
+        path under a held transport, where the pooled connection is
+        occupied by the parked poll."""
+        payload = {
+            "participant": self.participant_id,
+            "timestamp": self.last_doc_time,
+            "actions": [action.to_dict() for action in self._outgoing],
+        }
+        if self.transport_mode != TRANSPORT_POLL:
+            # The key is appended after the seed fields, so a plain
+            # polling client's request stays byte-identical to the seed.
+            payload["transport"] = self.transport_mode
+        body = json.dumps(payload).encode("utf-8")
         self.stats.actions_sent += len(self._outgoing)
         self._outgoing = []
 
@@ -364,9 +399,10 @@ class AjaxSnippet:
                                      query=target.split("?", 1)[1] if "?" in target else None)
         started = self.sim.now
         response = yield from self.browser.client.post(
-            url, body, content_type="application/json"
+            url, body, content_type="application/json", dedicated=dedicated
         )
         self.stats.polls_sent += 1
+        self._note_granted_transport(response.headers.get(TRANSPORT_HEADER))
         if response.status != 200 or not response.body:
             self.stats.empty_responses += 1
             return False
@@ -374,6 +410,17 @@ class AjaxSnippet:
             response.text(), started, response.headers.get(TRACE_HEADER)
         )
         return applied
+
+    def _note_granted_transport(self, granted: Optional[str]) -> None:
+        """Adopt the agent's granted mode when it differs from ours —
+        how an adaptive-controller switch reaches the participant."""
+        if (
+            granted
+            and granted in TRANSPORT_MODES
+            and granted != self.transport_mode
+        ):
+            self.transport_mode = granted
+            self.stats.transport_switches += 1
 
     def flush(self):
         """Send queued actions immediately instead of waiting a tick."""
@@ -408,6 +455,39 @@ class AjaxSnippet:
     def _process_response(
         self, xml_text: str, poll_started: float, trace_header: Optional[str] = None
     ):
+        """Apply one response body.  A streamed-push response packs
+        several envelopes back to back; each starts with the XML
+        declaration, so splitting on it recovers the stream, applied in
+        arrival order (each delta's base is the envelope before it)."""
+        if xml_text.count(_XML_DECL) <= 1:
+            applied = yield from self._process_envelope(
+                xml_text, poll_started, trace_header
+            )
+            return applied
+        applied_any = False
+        for chunk in xml_text.split(_XML_DECL):
+            if not chunk:
+                continue
+            applied = yield from self._process_envelope(
+                _XML_DECL + chunk, poll_started, trace_header
+            )
+            applied_any = applied or applied_any
+        return applied_any
+
+    def _sync_seconds(self, poll_started: float, content: NewContent) -> float:
+        """M2 for one applied envelope.  Interval polling measures the
+        poll round trip.  A held poll parks *before* the change exists,
+        so its round trip would charge the idle hold into the metric;
+        measure from the change instead (``doc_time`` is stamped from
+        the same simulation clock at the root)."""
+        started = poll_started
+        if self.transport_mode != TRANSPORT_POLL:
+            started = max(started, content.doc_time / 1000.0)
+        return max(0.0, self.sim.now - started)
+
+    def _process_envelope(
+        self, xml_text: str, poll_started: float, trace_header: Optional[str] = None
+    ):
         try:
             content = parse_envelope(xml_text)
         except EnvelopeError:
@@ -421,7 +501,7 @@ class AjaxSnippet:
 
         has_content = bool(content.head_children or content.top_elements)
         if has_content:
-            sync_seconds = self.sim.now - poll_started
+            sync_seconds = self._sync_seconds(poll_started, content)
             span = self._start_apply_span(trace_header, "full", content, sync_seconds)
             wall_started = time.perf_counter()
             self._apply_update(content)
@@ -457,7 +537,7 @@ class AjaxSnippet:
         envelope (resync).  Deltas are an optimization, never a
         correctness dependency.
         """
-        sync_seconds = self.sim.now - poll_started
+        sync_seconds = self._sync_seconds(poll_started, content)
         span = self._start_apply_span(trace_header, "delta", content, sync_seconds)
         ok = False
         reason = "base-mismatch"
@@ -662,8 +742,28 @@ class AjaxSnippet:
     # -- action queueing ----------------------------------------------------------------------------
 
     def queue_action(self, action: UserAction) -> None:
-        """Piggyback ``action`` on the next polling request."""
+        """Piggyback ``action`` on the next polling request.
+
+        Under a held transport the next scheduled poll may be parked at
+        the agent for seconds, so a second, immediate request carries
+        the action up (comet's send channel); the agent answers an
+        actions-carrying poll right away.
+        """
         self._outgoing.append(action)
+        if (
+            self.transport_mode != TRANSPORT_POLL
+            and self._connected
+            and self._flush_proc is None
+        ):
+            self._flush_proc = self.sim.process(self._flush_held())
+
+    def _flush_held(self):
+        try:
+            yield from self.poll_once(dedicated=True)
+        except RequestFailed:
+            self.stats.connection_errors += 1
+        finally:
+            self._flush_proc = None
 
     def report_mouse_move(self, x: int, y: int) -> None:
         """Queue a pointer-mirroring action for the next poll."""

@@ -48,11 +48,11 @@ class HttpClient:
         """Issue a GET (generator process returning the response)."""
         return self.request("GET", url, headers=headers)
 
-    def post(self, url: Union[str, Url], body: bytes, content_type: str = "application/x-www-form-urlencoded", headers: Optional[Headers] = None):
+    def post(self, url: Union[str, Url], body: bytes, content_type: str = "application/x-www-form-urlencoded", headers: Optional[Headers] = None, dedicated: bool = False):
         """Issue a POST with a body (generator process)."""
         headers = headers.copy() if headers else Headers()
         headers.set("Content-Type", content_type)
-        return self.request("POST", url, headers=headers, body=body)
+        return self.request("POST", url, headers=headers, body=body, dedicated=dedicated)
 
     def request(
         self,
@@ -60,8 +60,15 @@ class HttpClient:
         url: Union[str, Url],
         headers: Optional[Headers] = None,
         body: bytes = b"",
+        dedicated: bool = False,
     ):
-        """Generator process: send a request, return the HttpResponse."""
+        """Generator process: send a request, return the HttpResponse.
+
+        ``dedicated`` sends on a fresh one-shot connection beside the
+        keep-alive pool — how a browser issues a request that must not
+        queue behind a long-held exchange on the pooled connection (a
+        comet client's second, send-side connection).
+        """
         if isinstance(url, str):
             url = parse_url(url)
         if not url.is_absolute:
@@ -73,7 +80,10 @@ class HttpClient:
             if cookie_value is not None:
                 request.headers.set("Cookie", cookie_value)
 
-        response = yield from self._send_on_pool(url, request)
+        if dedicated:
+            response = yield from self._send_dedicated(url, request)
+        else:
+            response = yield from self._send_on_pool(url, request)
 
         if self.cookie_jar is not None:
             for set_cookie in response.headers.get_all("Set-Cookie"):
@@ -119,7 +129,24 @@ class HttpClient:
             self._pool.pop(origin, None)
         return response
 
+    def _send_dedicated(self, url: Url, request: HttpRequest):
+        opened = yield from self._open_raw(url)
+        try:
+            response = yield from self._exchange(opened, request)
+        except (NetworkError, StoreClosed):
+            raise RequestFailed(
+                "exchange failed on dedicated connection to %s" % url.origin
+            )
+        finally:
+            opened.connection.close()
+        return response
+
     def _open(self, url: Url):
+        pooled = yield from self._open_raw(url)
+        self._pool[url.origin] = pooled
+        return pooled
+
+    def _open_raw(self, url: Url):
         port = url.effective_port
         if port is None:
             raise HttpError("cannot determine port for %r" % (str(url),))
@@ -127,9 +154,7 @@ class HttpClient:
             connection = yield self.host.connect(url.host, port)
         except NetworkError as exc:
             raise RequestFailed("cannot connect to %s: %s" % (url.origin, exc))
-        pooled = _PooledConnection(connection)
-        self._pool[url.origin] = pooled
-        return pooled
+        return _PooledConnection(connection)
 
     def _exchange(self, pooled: _PooledConnection, request: HttpRequest):
         yield pooled.connection.send(request.to_bytes())

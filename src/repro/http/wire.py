@@ -72,6 +72,16 @@ class WirePlan:
         self.copied_bytes += size
         self._joined = None
 
+    def extend_plan(self, other: "WirePlan") -> None:
+        """Append another plan's buffers, preserving its zero-copy vs
+        copied accounting — how a streamed push response concatenates
+        several envelope bodies without materializing any of them."""
+        self.buffers.extend(other.buffers)
+        self.nbytes += other.nbytes
+        self.zero_copy_bytes += other.zero_copy_bytes
+        self.copied_bytes += other.copied_bytes
+        self._joined = None
+
     def __len__(self) -> int:
         return self.nbytes
 

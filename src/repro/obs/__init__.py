@@ -25,6 +25,7 @@ from .events import (
     RESYNC_FORCED,
     SLO_BREACH,
     SLO_RECOVER,
+    TRANSPORT_SWITCH,
     Event,
     EventBus,
 )
@@ -45,6 +46,7 @@ from .health import (
     SloRule,
     Verdict,
     default_rules,
+    transport_rules,
 )
 from .recorder import FlightRecorder
 from .registry import (
@@ -93,6 +95,7 @@ __all__ = [
     "SpanContext",
     "StatsFacade",
     "TRACE_HEADER",
+    "TRANSPORT_SWITCH",
     "Tracer",
     "Verdict",
     "WARN",
@@ -103,6 +106,7 @@ __all__ = [
     "parse_trace_header",
     "percentile",
     "spans_to_jsonl",
+    "transport_rules",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_spans_jsonl",

@@ -52,6 +52,7 @@ __all__ = [
     "RESYNC_FORCED",
     "SLO_BREACH",
     "SLO_RECOVER",
+    "TRANSPORT_SWITCH",
 ]
 
 #: A content-bearing poll response left an agent/relay.
@@ -77,6 +78,9 @@ MEMBER_LEAVE = "member.leave"
 #: The SLO engine's verdict for a subject crossed into / out of BREACH.
 SLO_BREACH = "slo.breach"
 SLO_RECOVER = "slo.recover"
+#: A member's granted transport mode changed (adaptive controller or
+#: an explicit per-member override).
+TRANSPORT_SWITCH = "transport.switch"
 
 #: The closed vocabulary above (documentation + test assertions; the
 #: bus itself accepts any string so extensions stay cheap).
@@ -93,6 +97,7 @@ KNOWN_EVENT_TYPES = frozenset(
         MEMBER_LEAVE,
         SLO_BREACH,
         SLO_RECOVER,
+        TRANSPORT_SWITCH,
     }
 )
 

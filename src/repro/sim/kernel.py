@@ -116,7 +116,10 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self._defused = False
+        # Preserve a pre-set defuse mark: interrupt() defuses abandoned
+        # events *before* they fail (e.g. a store closing under a recv
+        # whose waiter was interrupted away).
+        self._defused = getattr(self, "_defused", False)
         self.sim._schedule_event(self)
         return self
 
@@ -190,9 +193,11 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
-            if target.triggered and not target._ok:
-                # The process abandons an already-failed event; nobody will
-                # consume its exception, so mark it handled.
+            if not target.callbacks or (target.triggered and not target._ok):
+                # The process abandons the event; if it has failed — or
+                # fails later with no other waiter (e.g. a connection
+                # closing under a parked recv) — nobody will consume its
+                # exception, so mark it handled.
                 target._defused = True
         self._target = None
         interrupt_event.callbacks.append(self._resume)

@@ -1,0 +1,38 @@
+"""Shared test configuration.
+
+The tier-1 suite runs in a transport matrix: setting ``RCB_TRANSPORT``
+to ``poll``, ``longpoll`` or ``push`` makes every session constructed
+without an explicit ``transport=`` argument default to that mode (see
+``repro.core.transport.default_transport_mode``).  CI runs the suite
+once per mode; locally the variable is simply unset and the suite runs
+in the seed's plain-polling mode.
+"""
+
+import os
+
+import pytest
+
+from repro.core.transport import TRANSPORT_ENV, TRANSPORT_MODES
+
+
+@pytest.fixture(scope="session", autouse=True)
+def forced_transport():
+    """Validate (and expose) the transport mode forced on this run.
+
+    A typo'd mode should kill the matrix job immediately rather than
+    silently falling back — ``default_transport_mode`` raises at agent
+    construction, but that surfaces as hundreds of confusing per-test
+    errors; failing here yields one clear message.
+
+    Returns the forced mode, or None when the suite runs with session
+    defaults.  Tests that depend on interval-polling semantics pin
+    ``transport="poll"`` explicitly instead of consulting this fixture,
+    so they hold under every matrix leg.
+    """
+    forced = os.environ.get(TRANSPORT_ENV) or None
+    if forced is not None and forced not in TRANSPORT_MODES:
+        raise pytest.UsageError(
+            "%s=%r is not a transport mode (choose from %s)"
+            % (TRANSPORT_ENV, forced, ", ".join(TRANSPORT_MODES))
+        )
+    return forced

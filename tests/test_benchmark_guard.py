@@ -236,6 +236,29 @@ class TestBenchCompare:
         )
         assert "| table.txt | – | – | changed |" in report
 
+    def test_json_artifacts_compare_canonically(self, tmp_path):
+        # Key order and indentation churn must not read as drift...
+        self.fill(tmp_path / "base", "frontier.json", '{"a": 1, "b": 2}')
+        self.fill(tmp_path / "cur", "frontier.json", '{\n "b": 2,\n "a": 1\n}')
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| frontier.json | – | – | same |" in report
+        # ...while a changed value still does.
+        self.fill(tmp_path / "cur", "frontier.json", '{"a": 1, "b": 3}')
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| frontier.json | – | – | changed |" in report
+
+    def test_malformed_json_falls_back_to_raw_text(self, tmp_path):
+        self.fill(tmp_path / "base", "broken.json", "{not json")
+        self.fill(tmp_path / "cur", "broken.json", "{not json")
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| broken.json | – | – | same |" in report
+
     def test_missing_files_are_called_out(self, tmp_path):
         self.fill(tmp_path / "base", "old.txt", "a (1.0 operations/s)")
         self.fill(tmp_path / "cur", "new.txt", "a (1.0 operations/s)")

@@ -414,7 +414,12 @@ class TestWanAndNat:
 
         snippet = run(sim, scenario())
         assert pb.page.document.title == "Demo"
-        assert snippet.stats.last_sync_seconds > 0.1  # slow uplink shows
+        # Slow uplink shows in the sync latency.  Polling adds partial
+        # poll-interval delay on top of the wire time; held transports
+        # (long-poll / push) release on the change, so only the WAN wire
+        # latency itself remains — still an order of magnitude above LAN.
+        floor = 0.1 if snippet.transport_mode == "poll" else 0.05
+        assert snippet.stats.last_sync_seconds > floor  # slow uplink shows
 
     def test_participant_joins_through_port_forwarding(self):
         sim = Simulator()

@@ -133,8 +133,13 @@ class TestDeltaExchange:
 
     def test_coalesced_delta_spans_multiple_edits(self):
         """Several host edits between two polls arrive as one delta
-        against the participant's older (but still retained) snapshot."""
-        sim, session, (alice,) = build_world(poll_interval=5.0)
+        against the participant's older (but still retained) snapshot.
+
+        Coalescing-between-polls only exists under interval polling —
+        a held transport releases on the first edit — so the transport
+        is pinned to "poll" regardless of any forced RCB_TRANSPORT.
+        """
+        sim, session, (alice,) = build_world(poll_interval=5.0, transport="poll")
 
         def scenario():
             snippet = yield from session.join(alice)
@@ -203,8 +208,13 @@ class TestResyncFallbacks:
 
     def test_stale_participant_converges_via_full(self):
         """A participant that reports a timestamp the agent never
-        generated (e.g. it re-joined) is answered with a full envelope."""
-        sim, session, (alice,) = build_world()
+        generated (e.g. it re-joined) is answered with a full envelope.
+
+        The stale timestamp is injected between polls, which requires
+        interval polling — under a held transport the in-flight poll
+        already carries the real timestamp — so the mode is pinned.
+        """
+        sim, session, (alice,) = build_world(transport="poll")
 
         def scenario():
             snippet = yield from session.join(alice)

@@ -93,7 +93,7 @@ class TestInstrumentedSimulator:
         from repro.net import LAN_PROFILE, Host, Network
         from repro.webserver import OriginServer, StaticSite
 
-        sim = InstrumentedSimulator(trace_capacity=50)
+        sim = InstrumentedSimulator(trace_capacity=40)
         network = Network(sim)
         site = StaticSite("s.com")
         site.add_page("/", "<html><head><title>T</title></head><body>b</body></html>")
@@ -109,5 +109,7 @@ class TestInstrumentedSimulator:
 
         sim.run_until_complete(sim.process(scenario()))
         assert pb.page.document.title == "T"
-        assert sim.kernel_stats.events_processed > 50
-        assert len(sim.kernel_stats.recent_trace()) == 50
+        # Threshold sized so any full join+navigate+sync clears it in
+        # every transport mode (held transports need fewer poll events).
+        assert sim.kernel_stats.events_processed > 40
+        assert len(sim.kernel_stats.recent_trace()) == 40
