@@ -13,14 +13,24 @@ Commands
     List the 20 Table-1 sample sites with sizes and regions.
 ``trace``
     Run a traced relayed session and print the end-to-end span trees;
-    optionally export JSONL / Chrome trace-event files.
+    optionally export JSONL / Chrome trace-event / flame-graph files
+    (``--collapsed`` for flamegraph.pl, ``--speedscope`` for
+    https://www.speedscope.app).
 ``metrics``
-    Run a small instrumented session and dump the metrics registry.
+    Run a small instrumented session and dump the metrics registry
+    (``--format json`` for the machine-readable snapshot).
 ``health``
     Run a monitored relayed session, evaluate the SLO rules, and print
     the verdict table.  ``--fail-relay`` injects a mid-session relay
     death; ``--check`` exits nonzero if any check BREACHed; ``--dump`` /
-    ``--dump-on-breach`` write the flight recorder's black box.
+    ``--dump-on-breach`` write the flight recorder's black box;
+    ``--format json`` emits the report as JSON.
+``top``
+    Run the monitored session with continuous profiling and wire-byte
+    attribution attached, then print the fleet table: per-node
+    self-time, wall compute, downlink bytes/s, transport mode, and
+    health grade, plus the per-kind profile and per-member byte
+    attribution tables.
 ``logs``
     Run the same monitored session and print the structured event tail,
     filterable by ``--type`` / ``--node``.
@@ -82,15 +92,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a chrome://tracing-loadable trace-event file to PATH",
     )
+    trace.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        help="write collapsed flame-graph stacks (flamegraph.pl input) to PATH",
+    )
+    trace.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        help="write a speedscope-JSON profile (both cost axes) to PATH",
+    )
 
-    subparsers.add_parser(
+    metrics = subparsers.add_parser(
         "metrics", help="run an instrumented session and dump the metrics registry"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
     )
 
     health = subparsers.add_parser(
         "health", help="run a monitored session and print the SLO verdicts"
     )
     _add_monitored_session_args(health)
+    health.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
     health.add_argument(
         "--check",
         action="store_true",
@@ -105,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump-on-breach",
         metavar="PATH",
         help="write the black box to PATH only when the run BREACHed",
+    )
+
+    top = subparsers.add_parser(
+        "top", help="run a profiled session and print the fleet cost table"
+    )
+    _add_monitored_session_args(top)
+    top.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        help="also write the trailing-window speedscope profile to PATH",
     )
 
     logs = subparsers.add_parser(
@@ -154,11 +196,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sites":
         return _sites()
     if args.command == "trace":
-        return _trace(args.participants, args.branching, args.jsonl, args.chrome)
+        return _trace(args)
     if args.command == "metrics":
-        return _metrics()
+        return _metrics(args)
     if args.command == "health":
         return _health(args)
+    if args.command == "top":
+        return _top(args)
     if args.command == "logs":
         return _logs(args)
     return 2  # pragma: no cover - argparse enforces choices
@@ -314,20 +358,21 @@ def _build_traced_world(participants: int):
     return sim, host, guests
 
 
-def _trace(
-    participants: int,
-    branching: int,
-    jsonl_path: Optional[str],
-    chrome_path: Optional[str],
-) -> int:
+def _trace(args) -> int:
     from .core import CoBrowsingSession
     from .metrics import render_trace_summary
-    from .obs import Tracer, write_chrome_trace, write_spans_jsonl
+    from .obs import (
+        Tracer,
+        write_chrome_trace,
+        write_collapsed,
+        write_spans_jsonl,
+        write_speedscope,
+    )
 
-    sim, host, guests = _build_traced_world(participants)
+    sim, host, guests = _build_traced_world(args.participants)
     tracer = Tracer()
     session = CoBrowsingSession(host, tracer=tracer)
-    session.fanout_tree(branching=branching)
+    session.fanout_tree(branching=args.branching)
 
     def scenario():
         for guest in guests:
@@ -345,17 +390,34 @@ def _trace(
         session.close()
         return 1
     print(render_trace_summary(tracer))
-    if jsonl_path:
-        count = write_spans_jsonl(tracer, jsonl_path)
-        print("wrote %d spans to %s" % (count, jsonl_path))
-    if chrome_path:
-        count = write_chrome_trace(tracer, chrome_path)
-        print("wrote %d trace events to %s (load in chrome://tracing)" % (count, chrome_path))
+    if args.jsonl:
+        count = write_spans_jsonl(tracer, args.jsonl)
+        print("wrote %d spans to %s" % (count, args.jsonl))
+    if args.chrome:
+        count = write_chrome_trace(tracer, args.chrome)
+        print("wrote %d trace events to %s (load in chrome://tracing)" % (count, args.chrome))
+    if args.collapsed:
+        count = write_collapsed(tracer, args.collapsed)
+        axis = "sim self-time"
+        if count == 0:
+            # A LAN run is sim-instantaneous; the wall-compute axis is
+            # where its flame graph lives.
+            count = write_collapsed(tracer, args.collapsed, wall=True)
+            axis = "wall compute"
+        print("wrote %d collapsed stacks to %s (%s)" % (count, args.collapsed, axis))
+    if args.speedscope:
+        count = write_speedscope(tracer, args.speedscope, name="repro trace")
+        print(
+            "wrote %d flame-graph samples to %s (load at speedscope.app)"
+            % (count, args.speedscope)
+        )
     session.close()
     return 0
 
 
-def _metrics() -> int:
+def _metrics(args) -> int:
+    import json as _json
+
     from .core import CoBrowsingSession
 
     sim, host, guests = _build_traced_world(2)
@@ -376,7 +438,10 @@ def _metrics() -> int:
         )
         session.close()
         return 1
-    print(session.metrics.render("Session metrics"))
+    if args.format == "json":
+        print(_json.dumps(session.metrics.snapshot(), indent=1, sort_keys=True))
+    else:
+        print(session.metrics.render("Session metrics"))
     session.close()
     return 0
 
@@ -390,15 +455,32 @@ def _run_monitored_session(args):
     Returns ``(session, monitor, recorder)`` after the run completes.
     """
     from .core import CoBrowsingSession
-    from .obs import EventBus, FlightRecorder, HealthMonitor, Tracer
+    from .obs import (
+        ByteAttribution,
+        EventBus,
+        FlightRecorder,
+        HealthMonitor,
+        Profiler,
+        Tracer,
+    )
 
     sim, host, guests = _build_traced_world(args.participants)
     tracer = Tracer()
     events = EventBus()
-    session = CoBrowsingSession(host, tracer=tracer, events=events)
+    attribution = ByteAttribution()
+    session = CoBrowsingSession(host, tracer=tracer, events=events, attribution=attribution)
     session.fanout_tree(branching=args.branching)
-    recorder = FlightRecorder(events, registry=session.metrics, tracer=tracer)
-    monitor = HealthMonitor(session, recorder=recorder)
+    profiler = Profiler(tracer)
+    recorder = FlightRecorder(
+        events,
+        registry=session.metrics,
+        tracer=tracer,
+        profiler=profiler,
+        attribution=attribution,
+    )
+    monitor = HealthMonitor(
+        session, recorder=recorder, profiler=profiler, attribution=attribution
+    )
 
     def scenario():
         for guest in guests:
@@ -432,12 +514,19 @@ def _run_monitored_session(args):
 
 
 def _health(args) -> int:
+    import json as _json
+
     from .metrics import render_health_summary
 
     session, monitor, recorder = _run_monitored_session(args)
     report = monitor.last_report
-    print(render_health_summary(report))
-    print("worst level during run: %s" % monitor.worst_level)
+    if args.format == "json":
+        document = report.to_dict()
+        document["worst_level"] = monitor.worst_level
+        print(_json.dumps(document, indent=1, sort_keys=True))
+    else:
+        print(render_health_summary(report))
+        print("worst level during run: %s" % monitor.worst_level)
     breached = monitor.worst_level == "BREACH"
     if args.dump:
         recorder.dump("on-demand", t=session.sim.now)
@@ -451,6 +540,44 @@ def _health(args) -> int:
     session.close()
     if args.check and breached:
         return 1
+    return 0
+
+
+def _top(args) -> int:
+    from .metrics import render_fleet_table, render_health_summary
+    from .obs import render_attribution_table, render_profile_summary, write_speedscope
+
+    session, monitor, _recorder = _run_monitored_session(args)
+    now = session.sim.now
+    profile = monitor.window_profile() if monitor.profiler is not None else None
+    print(
+        render_fleet_table(
+            session,
+            profile=profile,
+            report=monitor.last_report,
+            now=now,
+            title="Fleet at t=%.3fs" % now,
+        )
+    )
+    print()
+    if profile is not None:
+        print(
+            render_profile_summary(
+                profile, title="Profile (trailing %.0fs)" % monitor.window
+            )
+        )
+        print()
+    if session.attribution is not None:
+        print(render_attribution_table(session.attribution))
+        print()
+    print(render_health_summary(monitor.last_report))
+    if getattr(args, "speedscope", None) and profile is not None:
+        count = write_speedscope(profile, args.speedscope, name="repro top")
+        print(
+            "wrote %d flame-graph samples to %s (load at speedscope.app)"
+            % (count, args.speedscope)
+        )
+    session.close()
     return 0
 
 

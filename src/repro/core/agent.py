@@ -150,6 +150,7 @@ class RCBAgent(BrowserExtension):
         tracer: Optional[Tracer] = None,
         metrics_node: Optional[str] = None,
         events: Optional[EventBus] = None,
+        attribution=None,
     ):
         super().__init__()
         self.port = port
@@ -271,6 +272,10 @@ class RCBAgent(BrowserExtension):
         #: Structured event bus; None (the default) disables the event
         #: log entirely — events never touch the wire either way.
         self.events = events
+        #: Wire-byte cost sink (:class:`repro.obs.attribution.ByteAttribution`);
+        #: None (the default) ships byte-identical traffic with no
+        #: per-response records.
+        self.attribution = attribution
         #: Label distinguishing this agent's instruments when several
         #: agents (host + relays) share one registry.
         self.metrics_node = metrics_node
@@ -668,6 +673,9 @@ class RCBAgent(BrowserExtension):
         reported = requested if requested in TRANSPORT_MODES else TRANSPORT_POLL
         granted = self._granted_transport(participant_id, requested)
         advertise = granted.mode if granted.mode != reported else None
+        #: Parked stretches of this exchange, recorded as
+        #: ``transport.hold`` spans so serve self-time excludes them.
+        holds: List[tuple] = []
 
         # Step 2: timestamp inspection.  A poll that piggybacked actions
         # is never parked — its response acknowledges them, and a held
@@ -693,7 +701,10 @@ class RCBAgent(BrowserExtension):
                 # hold timeout, then fall through to the ordinary serve
                 # branches — a released hold joins the current tick's
                 # broadcast plan like any co-due poll.
-                yield from self._hold_for_change(participant, granted.hold_timeout)
+                held = yield from self._hold_for_change(
+                    participant, granted.hold_timeout
+                )
+                holds.append(held)
             outbound = participant.outbound_actions
             granted = self._granted_transport(participant_id, requested)
             advertise = granted.mode if granted.mode != reported else None
@@ -701,7 +712,10 @@ class RCBAgent(BrowserExtension):
                 # Uninstalled while this exchange was parked (a dying
                 # relay): answer empty — the connection is dropping.
                 self.stats.inc("empty_responses")
-                return self._with_transport(self._xml(""), advertise)
+                self._record_holds(holds, participant_id)
+                return self._with_transport(
+                    self._xml("", participant=participant_id, kind="empty"), advertise
+                )
         if self.always_resend and self.browser.page is not None:
             participant.outbound_actions = []
             body, _ = self._serve_body(
@@ -712,7 +726,7 @@ class RCBAgent(BrowserExtension):
             self.stats.inc("content_responses")
             self.stats.inc("full_responses")
             self.stats.inc("full_bytes_sent", size)
-            context = self._serve_span(arrived, participant_id, False, size)
+            context = self._serve_span(arrived, participant_id, False, size, holds)
             self._emit(
                 POLL_SERVED,
                 trace=context,
@@ -721,7 +735,9 @@ class RCBAgent(BrowserExtension):
                 bytes=size,
                 doc_time=self._doc_time,
             )
-            return self._with_transport(self._respond(body, context), advertise)
+            return self._with_transport(
+                self._respond(body, context, participant_id, "full"), advertise
+            )
         if self._doc_time > their_time and self.browser.page is not None:
             # Step 3: response sending, with new content — a delta
             # envelope when this participant's acknowledged state is
@@ -746,7 +762,7 @@ class RCBAgent(BrowserExtension):
                 )
             participant.content_responses += 1
             self.stats.inc("content_responses")
-            context = self._serve_span(arrived, participant_id, is_delta, size)
+            context = self._serve_span(arrived, participant_id, is_delta, size, holds)
             self._emit(
                 POLL_SERVED,
                 trace=context,
@@ -755,20 +771,31 @@ class RCBAgent(BrowserExtension):
                 bytes=size,
                 doc_time=self._doc_time,
             )
-            return self._with_transport(self._respond(body, context), advertise)
+            kind = "delta" if is_delta else "full"
+            return self._with_transport(
+                self._respond(body, context, participant_id, kind), advertise
+            )
+        self._record_holds(holds, participant_id)
         if outbound:
             participant.outbound_actions = []
             xml = self._action_only_envelope(outbound)
-            return self._with_transport(self._xml(xml), advertise)
+            return self._with_transport(
+                self._xml(xml, participant=participant_id, kind="actions"), advertise
+            )
         # No new content: empty response to avoid hanging requests.
         self.stats.inc("empty_responses")
-        return self._with_transport(self._xml(""), advertise)
+        return self._with_transport(
+            self._xml("", participant=participant_id, kind="empty"), advertise
+        )
 
     def _hold_for_change(self, participant: ParticipantState, duration: float):
         """Hang one poll until a document change, a per-member wake
         (queued outbound action, transport switch), or the hold timeout.
-        Generator; keeps the ``held_polls_open`` gauge current."""
+        Generator; keeps the ``held_polls_open`` gauge current and
+        returns the ``(start, end)`` sim-time interval it parked —
+        callers record it as a ``transport.hold`` span."""
         sim = self.browser.sim
+        start = sim.now
         waiter = sim.event()
         self._change_waiters.append(waiter)
         participant.wake_events.append(waiter)
@@ -785,6 +812,7 @@ class RCBAgent(BrowserExtension):
                     self._change_waiters.remove(waiter)
                 if waiter in participant.wake_events:
                     participant.wake_events.remove(waiter)
+        return (start, sim.now)
 
     def _stream_push(self, participant, their_time, transport, arrived):
         """Streamed push: hold the connection and capture an envelope on
@@ -802,6 +830,7 @@ class RCBAgent(BrowserExtension):
         participant_id = participant.participant_id
         base = their_time
         captured = []
+        holds: List[tuple] = []
         last_is_delta = False
         deadline = sim.now + transport.hold_timeout
         while True:
@@ -844,13 +873,15 @@ class RCBAgent(BrowserExtension):
             remaining = deadline - sim.now
             if remaining <= 1e-9:
                 break
-            yield from self._hold_for_change(participant, remaining)
+            held = yield from self._hold_for_change(participant, remaining)
+            holds.append(held)
         if not captured or self.browser is None:
+            self._record_holds(holds, participant_id)
             return None
         self.stats.inc("push_envelopes_streamed", len(captured))
         body = merge_wire_bodies(captured)
         total = len(body)
-        context = self._serve_span(arrived, participant_id, last_is_delta, total)
+        context = self._serve_span(arrived, participant_id, last_is_delta, total, holds)
         self._emit(
             POLL_SERVED,
             trace=context,
@@ -860,7 +891,7 @@ class RCBAgent(BrowserExtension):
             bytes=total,
             doc_time=self._doc_time,
         )
-        return self._respond(body, context)
+        return self._respond(body, context, participant_id, "push")
 
     @staticmethod
     def _with_transport(response: HttpResponse, advertise: Optional[str]) -> HttpResponse:
@@ -871,12 +902,20 @@ class RCBAgent(BrowserExtension):
         return response
 
     def _serve_span(
-        self, arrived: float, participant_id: str, is_delta: bool, size: int
+        self,
+        arrived: float,
+        participant_id: str,
+        is_delta: bool,
+        size: int,
+        holds=(),
     ) -> Optional[SpanContext]:
         """Record the content-serving span for one poll exchange and
         return its context (carried downstream in ``X-RCB-Trace``).
         Spans the sim-time from poll arrival to response dispatch,
-        parented under whichever span produced the content being sent."""
+        parented under whichever span produced the content being sent.
+        ``holds`` lists the exchange's parked ``(start, end)``
+        stretches, recorded as ``transport.hold`` children so the serve
+        span's *self* time is actual serving work, not the wait."""
         if self.tracer is None:
             return None
         span = self.tracer.start_span(
@@ -890,15 +929,56 @@ class RCBAgent(BrowserExtension):
             bytes=size,
         )
         span.finish(self.browser.sim.now)
+        self._record_holds(holds, participant_id, parent=span)
         return span.context
 
+    def _record_holds(self, holds, participant_id: str, parent=None) -> None:
+        """Record ``transport.hold`` spans for one exchange's parked
+        stretches — children of the serve span when content shipped,
+        roots otherwise (a hold that timed out into an empty response
+        still shows up in the profile)."""
+        if self.tracer is None:
+            return
+        for start, end in holds:
+            if end - start <= 0.0:
+                continue
+            span = self.tracer.start_span(
+                "transport.hold",
+                t=start,
+                parent=parent,
+                node=self._node_name(),
+                participant=participant_id,
+            )
+            span.finish(end)
+
+    #: Coarse attribution labels for legacy str bodies (anything not
+    #: listed counts as document ``body``).
+    _STR_BUCKETS = {"delta": "delta", "actions": "userActions"}
+
     def _xml(
-        self, body_text: str, trace_context: Optional[SpanContext] = None
+        self,
+        body_text: str,
+        trace_context: Optional[SpanContext] = None,
+        participant: Optional[str] = None,
+        kind: Optional[str] = None,
     ) -> HttpResponse:
         headers = Headers([("Content-Type", "application/xml; charset=utf-8")])
         if trace_context is not None:
             headers.set(TRACE_HEADER, format_trace_header(trace_context))
-        return HttpResponse(200, headers, body_text.encode("utf-8"))
+        data = body_text.encode("utf-8")
+        response = HttpResponse(200, headers, data)
+        if self.attribution is not None and participant is not None:
+            buckets = {}
+            if data:
+                buckets[self._STR_BUCKETS.get(kind, "body")] = len(data)
+            response.attribution = self.attribution.begin(
+                self._node_name(),
+                participant,
+                kind or "empty",
+                self._doc_time,
+                buckets,
+            )
+        return response
 
     def _participant(self, participant_id: str) -> ParticipantState:
         state = self.participants.get(participant_id)
@@ -1316,10 +1396,17 @@ class RCBAgent(BrowserExtension):
             return self._envelope_with_actions(actions, participant_id), False
         return self._content_envelope(participant_id, their_time, actions)
 
-    def _respond(self, body, trace_context: Optional[SpanContext] = None) -> HttpResponse:
-        """Wrap a poll body — str or :class:`WirePlan` — in a 200."""
+    def _respond(
+        self,
+        body,
+        trace_context: Optional[SpanContext] = None,
+        participant: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> HttpResponse:
+        """Wrap a poll body — str or :class:`WirePlan` — in a 200,
+        opening its cost record when attribution is on."""
         if isinstance(body, str):
-            return self._xml(body, trace_context)
+            return self._xml(body, trace_context, participant=participant, kind=kind)
         self.stats.inc("wire_bytes_zero_copy", body.zero_copy_bytes)
         self.stats.inc("wire_bytes_copied", body.copied_bytes)
         headers = Headers.preset(
@@ -1327,7 +1414,16 @@ class RCBAgent(BrowserExtension):
         )
         if trace_context is not None:
             headers.set(TRACE_HEADER, format_trace_header(trace_context))
-        return HttpResponse(200, headers, body)
+        response = HttpResponse(200, headers, body)
+        if self.attribution is not None and participant is not None:
+            response.attribution = self.attribution.begin(
+                self._node_name(),
+                participant,
+                kind or "full",
+                self._doc_time,
+                body.buckets,
+            )
+        return response
 
     @property
     def generation_count(self) -> int:

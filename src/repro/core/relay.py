@@ -95,6 +95,7 @@ class RelayAgent(RCBAgent):
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         events: Optional[EventBus] = None,
+        attribution=None,
     ):
         super().__init__(
             port=port,
@@ -109,6 +110,7 @@ class RelayAgent(RCBAgent):
             tracer=tracer,
             metrics_node=relay_id,
             events=events,
+            attribution=attribution,
         )
         self.upstream_url = upstream_url
         #: This relay's participant id at its upstream (defaults to the

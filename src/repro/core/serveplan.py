@@ -107,6 +107,15 @@ class BroadcastPlan:
         else:
             plan.append_owned(actions_wire)
         plan.extend_shared(template.post, template.post_len)
+        if template.buckets is not None:
+            # Label the payload bytes for cost attribution.  The dict
+            # is built per splice (not per serve: memoized bodies share
+            # theirs), so attribution rides the existing memo for free.
+            buckets = dict(template.buckets)
+            buckets["userActions"] = len(
+                EMPTY_ACTIONS_WIRE if actions_wire is None else actions_wire
+            )
+            plan.buckets = buckets
         if shared:
             self._memo_actions = actions_wire
             self._memo_plan = plan

@@ -88,6 +88,7 @@ class CoBrowsingSession:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         events: Optional[EventBus] = None,
+        attribution=None,
     ):
         self.host_browser = host_browser
         self.sim = host_browser.sim
@@ -105,18 +106,26 @@ class CoBrowsingSession:
                 tracer=tracer,
                 metrics_node=host_browser.name,
                 events=events,
+                attribution=attribution,
             )
         else:
             if tracer is not None and agent.tracer is None:
                 agent.tracer = tracer
             if events is not None and agent.events is None:
                 agent.events = events
+            if attribution is not None and agent.attribution is None:
+                agent.attribution = attribution
         self.agent = agent
-        #: The session-wide registry/tracer/event-bus every member
-        #: publishes into.
+        #: The session-wide registry/tracer/event-bus/byte-sink every
+        #: member publishes into.
         self.metrics = self.agent.metrics
         self.tracer = self.agent.tracer
         self.events = self.agent.events
+        self.attribution = self.agent.attribution
+        if self.attribution is not None and self.attribution.tier_of is None:
+            # Wire the tier resolver so rollups can group members by
+            # relay-tree depth.
+            self.attribution.tier_of = self.member_tier
         self.agent.install(host_browser)
         self.participants: Dict[str, AjaxSnippet] = {}
         #: Fan-out mode: participant id -> its RelayAgent.
@@ -238,6 +247,7 @@ class CoBrowsingSession:
             metrics=self.metrics,
             tracer=self.tracer,
             events=self.events,
+            attribution=self.attribution,
         )
         relay.install(participant_browser)
         try:

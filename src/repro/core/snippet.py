@@ -758,12 +758,25 @@ class AjaxSnippet:
             self._flush_proc = self.sim.process(self._flush_held())
 
     def _flush_held(self):
+        span = None
+        if self.tracer is not None:
+            # The flush round trip is the held transport's send channel;
+            # its span covers the whole dedicated exchange (any apply it
+            # triggers rides inside — part of the flush's cost).
+            span = self.tracer.start_span(
+                "transport.flush",
+                t=self.sim.now,
+                node=self.participant_id or self.browser.name,
+                actions=len(self._outgoing),
+            )
         try:
             yield from self.poll_once(dedicated=True)
         except RequestFailed:
             self.stats.connection_errors += 1
         finally:
             self._flush_proc = None
+            if span is not None:
+                span.finish(self.sim.now)
 
     def report_mouse_move(self, x: int, y: int) -> None:
         """Queue a pointer-mirroring action for the next poll."""

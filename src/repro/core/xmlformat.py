@@ -448,15 +448,23 @@ class WireTemplate:
     ``pre`` and ``post`` are shared immutable buffer lists with their
     total lengths precomputed; per-receiver plans splice a personalized
     actions payload between them without copying either side.
+
+    ``buckets`` labels the *payload* bytes the template carries
+    (``head`` / ``body`` / ``delta`` / ``docCookies`` — see
+    :mod:`repro.obs.attribution`); wrapper scaffolding is deliberately
+    unlabeled and lands in the ``framing`` residual at ship time.  The
+    dict is computed once per template, so attribution adds nothing to
+    the per-receiver splice.
     """
 
-    __slots__ = ("pre", "post", "pre_len", "post_len")
+    __slots__ = ("pre", "post", "pre_len", "post_len", "buckets")
 
-    def __init__(self, pre, post):
+    def __init__(self, pre, post, buckets=None):
         self.pre = pre
         self.post = post
         self.pre_len = sum(len(buffer) for buffer in pre)
         self.post_len = sum(len(buffer) for buffer in post)
+        self.buckets: Optional[Dict[str, int]] = buckets
 
     def __repr__(self):
         return "WireTemplate(%d+%d buffers, %d+%d bytes)" % (
@@ -487,44 +495,48 @@ def wire_envelope_template(
         _WIRE_CONTENT_OPEN,
         _WIRE_HEAD_OPEN,
     ]
+    head_bytes = 0
     for index, payload in enumerate(head_payloads, start=1):
         open_b, close_b = _hchild_wrap(index)
         pre.append(open_b)
         pre.append(payload)
         pre.append(close_b)
+        head_bytes += len(payload)
     pre.append(_WIRE_HEAD_CLOSE)
+    body_bytes = 0
     for name, payload in top_payloads:
         open_b, close_b = _TOP_WRAPS[name]
         pre.append(open_b)
         pre.append(payload)
         pre.append(close_b)
+        body_bytes += len(payload)
     pre.append(_WIRE_CONTENT_CLOSE)
     pre.append(WIRE_ACTIONS_OPEN)
     post = [WIRE_ACTIONS_CLOSE]
+    buckets = {"head": head_bytes, "body": body_bytes}
     if cookies_json not in ("", "[]"):
-        post.append(
-            b"<docCookies><![CDATA["
-            + js_escape(cookies_json).encode("ascii")
-            + b"]]></docCookies>"
-        )
+        cookies_payload = js_escape(cookies_json).encode("ascii")
+        post.append(b"<docCookies><![CDATA[" + cookies_payload + b"]]></docCookies>")
+        buckets["docCookies"] = len(cookies_payload)
     post.append(_WIRE_CLOSE)
-    return WireTemplate(pre, post)
+    return WireTemplate(pre, post, buckets)
 
 
 def wire_delta_template(doc_time: int, base_time: int, delta_ops_json: str) -> WireTemplate:
     """A delta-envelope template, mirroring :func:`build_envelope`'s
     delta branch (deltas never carry docCookies: the agent replicates
     cookies only on full envelopes)."""
+    delta_payload = js_escape(delta_ops_json).encode("ascii")
     pre = [
         _WIRE_XML_DECL,
         _WIRE_OPEN,
         b"<docTime>%d</docTime>" % doc_time,
         b"<baseTime>%d</baseTime>" % base_time,
-        b"<delta><![CDATA[" + js_escape(delta_ops_json).encode("ascii") + b"]]></delta>",
+        b"<delta><![CDATA[" + delta_payload + b"]]></delta>",
         WIRE_ACTIONS_OPEN,
     ]
     post = [WIRE_ACTIONS_CLOSE, _WIRE_CLOSE]
-    return WireTemplate(pre, post)
+    return WireTemplate(pre, post, {"delta": len(delta_payload)})
 
 
 def split_wire_template(xml_text: str) -> Optional[WireTemplate]:
@@ -545,7 +557,11 @@ def split_wire_template(xml_text: str) -> Optional[WireTemplate]:
     if end == -1:
         return None
     view = memoryview(data)
-    return WireTemplate([view[:start]], [view[end:]])
+    template = WireTemplate([view[:start]], [view[end:]])
+    # Without per-section payloads the decomposition is coarse: the
+    # whole envelope counts as ``body`` (matching the legacy-str path).
+    template.buckets = {"body": template.pre_len + template.post_len}
+    return template
 
 
 def parse_envelope(text: str) -> NewContent:

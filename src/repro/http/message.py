@@ -251,6 +251,11 @@ class HttpResponse:
         self.version = version
         if "content-length" not in self.headers:
             self.headers.set("Content-Length", str(len(body)))
+        #: Optional :class:`~repro.obs.attribution.ResponseAttribution`
+        #: opened by the serving agent; the connection layer finalizes
+        #: it with the actual shipped byte count.  None (the default)
+        #: means the response is not cost-attributed.
+        self.attribution = None
 
     @property
     def body(self) -> bytes:

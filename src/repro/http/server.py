@@ -146,10 +146,19 @@ def serve_connection(sim, connection, dispatch, server_name="repro-httpd"):
                 if response.wire_plan is not None:
                     # Zero-copy body: hand the buffer list to the
                     # socket layer (writev); no contiguous join here.
-                    yield connection.sendv(response.wire_buffers())
+                    buffers = response.wire_buffers()
+                    shipped = sum(len(buffer) for buffer in buffers)
+                    yield connection.sendv(buffers)
                 else:
-                    yield connection.send(response.to_bytes())
+                    data = response.to_bytes()
+                    shipped = len(data)
+                    yield connection.send(data)
             except NetworkError:
                 return
+            if response.attribution is not None:
+                # Close the cost books only for bytes that actually
+                # shipped; the framing residual makes the bucket sum
+                # equal the wire total exactly.
+                response.attribution.finalize(sim.now, shipped)
             if not request.keep_alive:
                 return

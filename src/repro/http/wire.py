@@ -19,7 +19,7 @@ The ratio is the zero-copy win the ``wire.*`` instruments surface.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import Dict, List, Optional, Union
 
 __all__ = ["WirePlan"]
 
@@ -33,7 +33,7 @@ class WirePlan:
     are, by design, referenced by many concurrent plans.
     """
 
-    __slots__ = ("buffers", "nbytes", "zero_copy_bytes", "copied_bytes", "_joined")
+    __slots__ = ("buffers", "nbytes", "zero_copy_bytes", "copied_bytes", "buckets", "_joined")
 
     def __init__(self):
         self.buffers: List[Buffer] = []
@@ -42,6 +42,10 @@ class WirePlan:
         self.zero_copy_bytes = 0
         #: Bytes materialized for this plan alone (personalization).
         self.copied_bytes = 0
+        #: Optional payload-byte decomposition for cost attribution
+        #: (see :mod:`repro.obs.attribution`); None when the builder
+        #: did not label its bytes.
+        self.buckets: Optional[Dict[str, int]] = None
         self._joined = None
 
     def append_shared(self, buffer: Buffer) -> None:
@@ -80,6 +84,12 @@ class WirePlan:
         self.nbytes += other.nbytes
         self.zero_copy_bytes += other.zero_copy_bytes
         self.copied_bytes += other.copied_bytes
+        if other.buckets:
+            if self.buckets is None:
+                self.buckets = dict(other.buckets)
+            else:
+                for name, nbytes in other.buckets.items():
+                    self.buckets[name] = self.buckets.get(name, 0) + nbytes
         self._joined = None
 
     def __len__(self) -> int:

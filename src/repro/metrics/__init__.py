@@ -7,6 +7,7 @@ from .report import (
     render_delta_summary,
     render_figure_m1_m2,
     render_figure_m3_m4,
+    render_fleet_table,
     render_health_summary,
     render_relay_summary,
     render_shape_checks,
@@ -24,6 +25,7 @@ __all__ = [
     "render_delta_summary",
     "render_figure_m1_m2",
     "render_figure_m3_m4",
+    "render_fleet_table",
     "render_health_summary",
     "render_relay_summary",
     "render_shape_checks",

@@ -16,6 +16,7 @@ __all__ = [
     "render_delta_summary",
     "render_figure_m1_m2",
     "render_figure_m3_m4",
+    "render_fleet_table",
     "render_health_summary",
     "render_relay_summary",
     "render_table1",
@@ -351,5 +352,90 @@ def render_trace_summary(source, max_traces: int = 8) -> str:
                 percentile(samples, 95),
                 percentile(samples, 99),
             )
+        )
+    return "\n".join(lines)
+
+
+def render_fleet_table(
+    session,
+    profile=None,
+    report=None,
+    now: Optional[float] = None,
+    title: str = "Fleet",
+) -> str:
+    """The ``repro top`` body: one row per pipeline node.
+
+    Host first, then relay tiers, then flat participants.  Per-node
+    sim self-time and wall compute come from a
+    :class:`~repro.obs.profile.Profile` (when given), downlink bytes/s
+    from the session's attached :class:`~repro.obs.ByteAttribution`,
+    and the grade column is the worst health verdict naming that node
+    or member in ``report``.
+    """
+    by_node: Dict[str, Dict[str, float]] = profile.by_node() if profile is not None else {}
+    attribution = getattr(session, "attribution", None)
+    rates: Dict[str, float] = {}
+    if attribution is not None and now is not None:
+        rates = attribution.member_rates(now)
+
+    severity = {"BREACH": 0, "WARN": 1, "OK": 2}
+
+    def grade(*names: str) -> str:
+        if report is None:
+            return "-"
+        worst = "OK"
+        for verdict in report.verdicts:
+            if verdict.subject in names and severity.get(verdict.level, 3) < severity.get(
+                worst, 3
+            ):
+                worst = verdict.level
+        return worst
+
+    def costs(node_name: str) -> tuple:
+        row = by_node.get(node_name)
+        if row is None:
+            return 0.0, 0.0
+        return row["self"] * 1e3, row["wall"] * 1e3
+
+    lines = [
+        "%s: %d relays, %d flat participants"
+        % (title, len(session.relays), len(session.participants)),
+        "%-14s %5s %-9s %11s %11s %12s %-7s"
+        % ("node", "tier", "transport", "self(ms)", "wall(ms)", "bytes/s", "grade"),
+    ]
+
+    def row(name, tier, transport, node_name, member_id=None):
+        self_ms, wall_ms = costs(node_name)
+        rate = rates.get(member_id, 0.0) if member_id is not None else 0.0
+        lines.append(
+            "%-14s %5s %-9s %11.3f %11.3f %12.1f %-7s"
+            % (
+                name,
+                tier,
+                transport,
+                self_ms,
+                wall_ms,
+                rate,
+                grade(name, node_name),
+            )
+        )
+
+    host_node = session.agent._node_name()
+    row(host_node, 0, "-", host_node)
+    for member_id in sorted(session.relays):
+        relay = session.relays[member_id]
+        tier = session.member_tier(member_id)
+        upstream = getattr(relay, "upstream", None)
+        transport = getattr(upstream, "transport_mode", "?") if upstream else "?"
+        row(member_id, tier if tier is not None else "?", transport, relay._node_name(), member_id)
+    for member_id in sorted(session.participants):
+        snippet = session.participants[member_id]
+        tier = session.member_tier(member_id)
+        row(
+            member_id,
+            tier if tier is not None else "?",
+            getattr(snippet, "transport_mode", "?"),
+            member_id,
+            member_id,
         )
     return "\n".join(lines)

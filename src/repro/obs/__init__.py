@@ -8,10 +8,18 @@ sim-time-stamped event log with per-component ring buffers
 (:mod:`repro.obs.events`), a black-box flight recorder correlating
 events + metrics + spans on triggering conditions
 (:mod:`repro.obs.recorder`), an SLO engine grading sessions OK / WARN /
-BREACH with hysteresis (:mod:`repro.obs.health`), and JSONL / Chrome
-trace-event exports (:mod:`repro.obs.export`).
+BREACH with hysteresis (:mod:`repro.obs.health`), continuous sim-time
+profiling with self-vs-inclusive span time (:mod:`repro.obs.profile`),
+wire-byte cost attribution (:mod:`repro.obs.attribution`), and JSONL /
+Chrome trace-event / flame-graph exports (:mod:`repro.obs.export`).
 """
 
+from .attribution import (
+    PAYLOAD_BUCKETS,
+    ByteAttribution,
+    ResponseAttribution,
+    render_attribution_table,
+)
 from .events import (
     DELTA_APPLY_FAILED,
     DELTA_FALLBACK,
@@ -31,11 +39,15 @@ from .events import (
 )
 from .export import (
     chrome_trace,
+    collapsed_stacks,
     events_to_jsonl,
     spans_to_jsonl,
+    speedscope_profile,
     write_chrome_trace,
+    write_collapsed,
     write_events_jsonl,
     write_spans_jsonl,
+    write_speedscope,
 )
 from .health import (
     BREACH,
@@ -46,7 +58,15 @@ from .health import (
     SloRule,
     Verdict,
     default_rules,
+    perf_budget_rules,
     transport_rules,
+)
+from .profile import (
+    FrameStat,
+    Profile,
+    Profiler,
+    build_profile,
+    render_profile_summary,
 )
 from .recorder import FlightRecorder
 from .registry import (
@@ -68,12 +88,14 @@ from .trace import (
 
 __all__ = [
     "BREACH",
+    "ByteAttribution",
     "Counter",
     "DELTA_APPLY_FAILED",
     "DELTA_FALLBACK",
     "Event",
     "EventBus",
     "FlightRecorder",
+    "FrameStat",
     "Gauge",
     "HMAC_REJECT",
     "HealthMonitor",
@@ -84,10 +106,14 @@ __all__ = [
     "MEMBER_LEAVE",
     "MetricsRegistry",
     "OK",
+    "PAYLOAD_BUCKETS",
     "POLL_SERVED",
+    "Profile",
+    "Profiler",
     "RELAY_DEATH",
     "RELAY_REATTACH",
     "RESYNC_FORCED",
+    "ResponseAttribution",
     "SLO_BREACH",
     "SLO_RECOVER",
     "SloRule",
@@ -99,15 +125,23 @@ __all__ = [
     "Tracer",
     "Verdict",
     "WARN",
+    "build_profile",
     "chrome_trace",
+    "collapsed_stacks",
     "default_rules",
     "events_to_jsonl",
     "format_trace_header",
     "parse_trace_header",
     "percentile",
+    "perf_budget_rules",
+    "render_attribution_table",
+    "render_profile_summary",
     "spans_to_jsonl",
+    "speedscope_profile",
     "transport_rules",
     "write_chrome_trace",
+    "write_collapsed",
     "write_events_jsonl",
     "write_spans_jsonl",
+    "write_speedscope",
 ]

@@ -1,0 +1,261 @@
+"""Wire-byte cost attribution: who pays for every served byte.
+
+The zero-copy serve pipeline (PR 6) ships each response as a list of
+buffers; this module labels those bytes.  Every envelope decomposes
+into **buckets**:
+
+* ``head`` / ``body`` — the pre-encoded document segments of a full
+  envelope (head children vs. top-level body children),
+* ``delta`` — the JSON op list of a delta envelope,
+* ``userActions`` — the per-member action splice,
+* ``docCookies`` — the cookie mirror section,
+* ``framing`` — everything else: the XML scaffolding around the
+  payloads plus the HTTP status line and headers.
+
+The payload buckets are computed where the bytes are *built* (the
+template builders in :mod:`repro.core.xmlformat` and the per-member
+splice in :mod:`repro.core.serveplan`); ``framing`` is the residual
+computed where the bytes are *shipped* (``serve_connection``), so
+
+    sum(buckets) == bytes actually written to the connection
+
+holds exactly, by construction, for full, delta, long-poll, and push
+envelopes alike.  The sink rolls buckets up per member, per relay
+tier, and per document state, and keeps a trailing window of
+per-member ship events so the SLO engine can grade uplink bytes/s —
+the placement signal the ROADMAP's sharding work needs.
+
+Like the tracer, attribution is strictly opt-in (``attribution=None``
+everywhere); a disabled session builds no records and ships
+byte-identical traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "PAYLOAD_BUCKETS",
+    "ByteAttribution",
+    "ResponseAttribution",
+    "render_attribution_table",
+]
+
+#: Bucket names that hold *payload* bytes (everything an envelope
+#: carries that is not scaffolding).  ``framing`` is always the
+#: residual and never appears in a template's bucket dict.
+PAYLOAD_BUCKETS = ("head", "body", "delta", "userActions", "docCookies")
+
+FRAMING = "framing"
+
+
+class ResponseAttribution:
+    """The cost record of one served response.
+
+    Created by the serving agent (which knows the member, the envelope
+    kind, and the payload buckets) and finalized by the connection
+    layer (which knows how many bytes actually shipped).  The framing
+    residual is computed at finalize time, which is what makes the
+    conservation invariant exact rather than estimated.
+    """
+
+    __slots__ = ("sink", "node", "member", "kind", "doc_time", "buckets", "shipped", "t")
+
+    def __init__(
+        self,
+        sink: "ByteAttribution",
+        node: str,
+        member: str,
+        kind: str,
+        doc_time: int,
+        buckets: Optional[Dict[str, int]] = None,
+    ):
+        self.sink = sink
+        #: The serving node (host browser name or relay id).
+        self.node = node
+        #: The member the response was addressed to.
+        self.member = member
+        #: Envelope kind: ``full`` / ``delta`` / ``push`` / ``actions`` / ``empty``.
+        self.kind = kind
+        self.doc_time = doc_time
+        self.buckets: Dict[str, int] = dict(buckets or {})
+        #: Total bytes written to the connection (set at finalize).
+        self.shipped = 0
+        self.t = 0.0
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(v for k, v in self.buckets.items() if k != FRAMING)
+
+    def finalize(self, t: float, shipped: int) -> "ResponseAttribution":
+        """Record the actual shipped size and close the books.
+
+        ``shipped`` must cover the whole response on the wire (status
+        line + headers + body buffers); the framing bucket absorbs the
+        difference between that and the payload buckets.
+        """
+        self.t = t
+        self.shipped = shipped
+        framing = shipped - self.payload_bytes
+        if framing:
+            self.buckets[FRAMING] = self.buckets.get(FRAMING, 0) + framing
+        self.sink.record(self)
+        return self
+
+    def __repr__(self):
+        return "ResponseAttribution(%s->%s %s@%d: %dB)" % (
+            self.node,
+            self.member,
+            self.kind,
+            self.doc_time,
+            self.shipped,
+        )
+
+
+def _merge(into: Dict[str, int], buckets: Dict[str, int]) -> None:
+    for name, nbytes in buckets.items():
+        into[name] = into.get(name, 0) + nbytes
+
+
+class ByteAttribution:
+    """The session-wide sink for :class:`ResponseAttribution` records.
+
+    Shared across the host agent and every relay (like the registry
+    and tracer), so a fleet's entire downlink cost lands in one place.
+    ``tier_of`` maps a member id to its relay-tree depth (the session
+    provides :meth:`~repro.core.session.CoBrowsingSession.member_tier`);
+    members the resolver cannot place land in tier ``"?"``.
+    """
+
+    def __init__(
+        self,
+        tier_of: Optional[Callable[[str], Optional[int]]] = None,
+        window: float = 30.0,
+        max_events: int = 4096,
+    ):
+        self.tier_of = tier_of
+        #: Trailing-window length (sim-seconds) for byte-rate queries.
+        self.window = window
+        self.responses = 0
+        self.total_bytes = 0
+        self.totals: Dict[str, int] = {}
+        self.per_member: Dict[str, Dict[str, int]] = {}
+        self.per_tier: Dict[str, Dict[str, int]] = {}
+        self.per_doc_state: Dict[int, Dict[str, int]] = {}
+        self.per_kind: Dict[str, int] = {}
+        #: Recent ship events per member: ``(t, shipped)`` pairs.
+        self._events: Dict[str, Deque[Tuple[float, int]]] = {}
+        self._max_events = max_events
+
+    def begin(
+        self,
+        node: str,
+        member: str,
+        kind: str,
+        doc_time: int,
+        buckets: Optional[Dict[str, int]] = None,
+    ) -> ResponseAttribution:
+        """Open the cost record for one response about to ship."""
+        return ResponseAttribution(self, node, member, kind, doc_time, buckets)
+
+    def record(self, record: ResponseAttribution) -> None:
+        """Fold a finalized record into every rollup."""
+        self.responses += 1
+        self.total_bytes += record.shipped
+        _merge(self.totals, record.buckets)
+        member_row = self.per_member.setdefault(record.member, {})
+        _merge(member_row, record.buckets)
+        tier = "?"
+        if self.tier_of is not None:
+            depth = self.tier_of(record.member)
+            if depth is not None:
+                tier = "tier:%d" % depth
+        _merge(self.per_tier.setdefault(tier, {}), record.buckets)
+        _merge(self.per_doc_state.setdefault(record.doc_time, {}), record.buckets)
+        self.per_kind[record.kind] = self.per_kind.get(record.kind, 0) + record.shipped
+        ring = self._events.get(record.member)
+        if ring is None:
+            ring = self._events[record.member] = deque(maxlen=self._max_events)
+        ring.append((record.t, record.shipped))
+
+    # -- queries ------------------------------------------------------------------------
+
+    def member_bytes(self, member: str) -> int:
+        return sum(self.per_member.get(member, {}).values())
+
+    def member_rates(self, now: float) -> Dict[str, float]:
+        """Per-member downlink bytes/s over the trailing window ending
+        at sim-time ``now`` (the SLO engine's uplink-budget feed)."""
+        horizon = now - self.window
+        out: Dict[str, float] = {}
+        for member, ring in self._events.items():
+            total = 0
+            for t, shipped in reversed(ring):
+                if t < horizon:
+                    break
+                total += shipped
+            out[member] = total / self.window if self.window > 0 else 0.0
+        return out
+
+    def top_members(self, n: int = 5) -> List[Tuple[str, int]]:
+        """Members ranked by total attributed bytes, costliest first.
+        Ties break by member id so the ranking is deterministic."""
+        ranked = sorted(
+            ((member, sum(row.values())) for member, row in self.per_member.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:n]
+
+    def top_tiers(self) -> List[Tuple[str, int]]:
+        """Tiers ranked by total attributed bytes, costliest first."""
+        return sorted(
+            ((tier, sum(row.values())) for tier, row in self.per_tier.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready summary (what the flight recorder embeds)."""
+        return {
+            "responses": self.responses,
+            "total_bytes": self.total_bytes,
+            "totals": dict(self.totals),
+            "per_kind": dict(self.per_kind),
+            "per_member": {m: dict(row) for m, row in sorted(self.per_member.items())},
+            "per_tier": {t: dict(row) for t, row in sorted(self.per_tier.items())},
+            "per_doc_state": {
+                str(d): dict(row) for d, row in sorted(self.per_doc_state.items())
+            },
+        }
+
+    def __repr__(self):
+        return "ByteAttribution(%d responses, %dB, %d members)" % (
+            self.responses,
+            self.total_bytes,
+            len(self.per_member),
+        )
+
+
+def render_attribution_table(attribution: ByteAttribution, limit: int = 10) -> str:
+    """A fixed-width per-member cost table, costliest member first."""
+    title = "Wire-byte attribution"
+    lines = [title, "=" * len(title)]
+    if not attribution.responses:
+        lines.append("(no attributed responses)")
+        return "\n".join(lines)
+    names = [b for b in PAYLOAD_BUCKETS if attribution.totals.get(b)] + [FRAMING]
+    header = "%-12s %10s" % ("member", "bytes")
+    for name in names:
+        header += " %12s" % name
+    lines.append(header)
+    for member, total in attribution.top_members(limit):
+        row = attribution.per_member[member]
+        line = "%-12s %10d" % (member, total)
+        for name in names:
+            line += " %12d" % row.get(name, 0)
+        lines.append(line)
+    total_line = "%-12s %10d" % ("TOTAL", attribution.total_bytes)
+    for name in names:
+        total_line += " %12d" % attribution.totals.get(name, 0)
+    lines.append(total_line)
+    return "\n".join(lines)

@@ -12,6 +12,11 @@ Formats and audiences:
   (host, relays, participants) map to named threads so a relayed
   session renders as a per-tier flame chart.  Sim-time seconds map to
   the format's microsecond timestamps.
+* **Collapsed stacks** — ``frame;frame value`` lines weighted by span
+  *self* time (Brendan Gregg's ``flamegraph.pl`` input), built from a
+  :class:`~repro.obs.profile.Profile`'s call tree.
+* **Speedscope JSON** — one file, two profiles: the sim self-time axis
+  and the wall-compute axis, loadable at https://www.speedscope.app.
 """
 
 from __future__ import annotations
@@ -20,15 +25,20 @@ import json
 from typing import Dict, List
 
 from .events import EventBus
+from .profile import Profile, build_profile
 from .trace import Span, Tracer
 
 __all__ = [
     "chrome_trace",
+    "collapsed_stacks",
     "events_to_jsonl",
     "spans_to_jsonl",
+    "speedscope_profile",
     "write_chrome_trace",
+    "write_collapsed",
     "write_events_jsonl",
     "write_spans_jsonl",
+    "write_speedscope",
 ]
 
 
@@ -131,3 +141,92 @@ def write_chrome_trace(source, path: str) -> int:
         json.dump(document, handle, indent=1, sort_keys=True)
         handle.write("\n")
     return sum(1 for event in document["traceEvents"] if event["ph"] == "X")
+
+
+def _profile(source, since: float = 0.0) -> Profile:
+    if isinstance(source, Profile):
+        return source
+    return build_profile(source, since=since)
+
+
+def collapsed_stacks(source, since: float = 0.0, wall: bool = False) -> str:
+    """Collapsed-stack flame-graph text from a Tracer, span iterable,
+    or prebuilt :class:`~repro.obs.profile.Profile`.  ``wall`` weights
+    frames by wall compute instead of sim self-time."""
+    return "\n".join(_profile(source, since).collapsed(wall=wall))
+
+
+def write_collapsed(source, path: str, since: float = 0.0, wall: bool = False) -> int:
+    """Write collapsed stacks to ``path``; returns the line count."""
+    lines = _profile(source, since).collapsed(wall=wall)
+    with open(path, "w") as handle:
+        if lines:
+            handle.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def speedscope_profile(
+    source, since: float = 0.0, name: str = "repro profile"
+) -> Dict[str, object]:
+    """Build a speedscope-JSON document with both cost axes.
+
+    Profile 0 weights stacks by **sim self-time**, profile 1 by **wall
+    compute** (the ``wall_seconds`` tags) — flip between them in the
+    speedscope UI.  Weights are whole microseconds; zero-weight stacks
+    are dropped per axis.
+    """
+    profile = _profile(source, since)
+    frames: List[Dict[str, str]] = []
+    frame_index: Dict[str, int] = {}
+
+    def index_of(frame_name: str) -> int:
+        idx = frame_index.get(frame_name)
+        if idx is None:
+            idx = frame_index[frame_name] = len(frames)
+            frames.append({"name": frame_name})
+        return idx
+
+    stacks = profile.stacks()
+    profiles: List[Dict[str, object]] = []
+    for axis_name, wall in (("sim self-time", False), ("wall compute", True)):
+        samples: List[List[int]] = []
+        weights: List[int] = []
+        total = 0
+        for path, self_seconds, wall_seconds, _count in stacks:
+            micros = int(round((wall_seconds if wall else self_seconds) * 1e6))
+            if micros <= 0:
+                continue
+            samples.append([index_of(frame) for frame in path])
+            weights.append(micros)
+            total += micros
+        profiles.append(
+            {
+                "type": "sampled",
+                "name": axis_name,
+                "unit": "microseconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        )
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro.obs.export",
+        "shared": {"frames": frames},
+        "profiles": profiles,
+    }
+
+
+def write_speedscope(
+    source, path: str, since: float = 0.0, name: str = "repro profile"
+) -> int:
+    """Write the speedscope document to ``path``; returns the total
+    sample count across both axes."""
+    document = speedscope_profile(source, since=since, name=name)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return sum(len(profile["samples"]) for profile in document["profiles"])

@@ -49,6 +49,7 @@ __all__ = [
     "Verdict",
     "WARN",
     "default_rules",
+    "perf_budget_rules",
     "transport_rules",
 ]
 
@@ -320,6 +321,73 @@ def transport_rules(
     ]
 
 
+def _serve_self_values(monitor: "HealthMonitor") -> Dict[str, float]:
+    if monitor.profiler is None:
+        return {}
+    profile = monitor.window_profile()
+    return {
+        node: percentile(samples, 95) * 1e3
+        for node, samples in profile.self_samples(".serve").items()
+    }
+
+
+def _generate_wall_values(monitor: "HealthMonitor") -> Dict[str, float]:
+    if monitor.profiler is None:
+        return {}
+    profile = monitor.window_profile()
+    return {
+        node: percentile(samples, 95) * 1e3
+        for node, samples in profile.self_samples(".generate", wall=True).items()
+    }
+
+
+def _member_uplink_values(monitor: "HealthMonitor") -> Dict[str, float]:
+    if monitor.attribution is None:
+        return {}
+    return monitor.attribution.member_rates(monitor.now)
+
+
+def perf_budget_rules(
+    serve_self_warn_ms: float = 100.0,
+    serve_self_breach_ms: float = 500.0,
+    generate_wall_warn_ms: float = 10.0,
+    generate_wall_breach_ms: float = 50.0,
+    uplink_warn_bytes_s: float = 65536.0,
+    uplink_breach_bytes_s: float = 262144.0,
+) -> List[SloRule]:
+    """Perf-budget rules over *attributed* quantities — the continuous
+    profiler's sim self-times and the byte sink's per-member rates.
+    Each statistic yields no subjects when its feed (``profiler`` /
+    ``attribution``) is not wired into the monitor, so appending these
+    to an unprofiled session changes nothing."""
+    return [
+        SloRule(
+            "serve_self_p95",
+            _serve_self_values,
+            warn=serve_self_warn_ms,
+            breach=serve_self_breach_ms,
+            unit="ms",
+            description="p95 serve self-time per node (holds excluded)",
+        ),
+        SloRule(
+            "generate_wall_p95",
+            _generate_wall_values,
+            warn=generate_wall_warn_ms,
+            breach=generate_wall_breach_ms,
+            unit="ms",
+            description="p95 wall compute per generation, per node",
+        ),
+        SloRule(
+            "member_uplink_bytes",
+            _member_uplink_values,
+            warn=uplink_warn_bytes_s,
+            breach=uplink_breach_bytes_s,
+            unit="B/s",
+            description="attributed downlink bytes/s per member",
+        ),
+    ]
+
+
 class HealthMonitor:
     """Samples a session's health signals and evaluates the SLO rules.
 
@@ -339,10 +407,24 @@ class HealthMonitor:
         recorder=None,
         recovery_checks: int = 2,
         sample_interval: float = 0.5,
+        profiler=None,
+        attribution=None,
     ):
         self.session = session
         self.events = events if events is not None else session.events
-        self.rules = rules if rules is not None else default_rules()
+        #: Continuous-profiling and byte-attribution feeds for the
+        #: perf-budget rules; None keeps those rules subject-free.
+        self.profiler = profiler
+        self.attribution = (
+            attribution
+            if attribution is not None
+            else getattr(session, "attribution", None)
+        )
+        if rules is None:
+            rules = default_rules()
+            if self.profiler is not None or self.attribution is not None:
+                rules = rules + perf_budget_rules()
+        self.rules = rules
         self.window = window
         self.recorder = recorder
         self.recovery_checks = recovery_checks
@@ -357,10 +439,24 @@ class HealthMonitor:
         #: The worst level any check has ever produced (what a CI gate
         #: cares about: "did this run ever violate its SLOs").
         self.worst_level = OK
+        #: One trailing-window profile per check sim-time (both profile
+        #: rules share the aggregation pass).
+        self._profile_cache: Optional[Tuple[float, object]] = None
 
     @property
     def now(self) -> float:
         return self.session.sim.now
+
+    def window_profile(self):
+        """The trailing-window :class:`~repro.obs.profile.Profile`,
+        built at most once per sim-time (rules share it)."""
+        now = self.now
+        cached = self._profile_cache
+        if cached is not None and cached[0] == now:
+            return cached[1]
+        profile = self.profiler.window(now, self.window)
+        self._profile_cache = (now, profile)
+        return profile
 
     # -- sampling ----------------------------------------------------------------------
 
@@ -396,9 +492,22 @@ class HealthMonitor:
         return current
 
     def staleness_p95(self, member: str) -> float:
-        """The p95 staleness (ms) over the member's windowed samples."""
+        """The p95 staleness (ms) over the member's windowed samples.
+
+        Prunes on read as well as on :meth:`sample`: an idle session can
+        jump sim-time far past the window between samples (long-poll
+        holds, quiet soak stretches), and a direct :meth:`check` must
+        not grade on pre-jump observations that only *look* recent
+        because nothing evicted them yet.
+        """
         ring = self._staleness.get(member)
         if not ring:
+            return 0.0
+        horizon = self.now - self.window
+        while ring and ring[0][0] < horizon:
+            ring.popleft()
+        if not ring:
+            del self._staleness[member]
             return 0.0
         return percentile((value for _t, value in ring), 95)
 

@@ -24,9 +24,16 @@ Built-in triggers:
 * an explicit :meth:`trigger` call — the SLO engine invokes this on a
   BREACH transition, and ``repro health --dump`` uses it on demand.
 
-Dumps are bounded (``max_dumps``) and rate-limited per reason
-(``min_dump_interval`` sim-seconds), so a flapping relay cannot fill a
-soak run's disk with identical black boxes.
+Dumps are bounded (``max_dumps``), rate-limited per reason
+(``min_dump_interval`` sim-seconds), and size-capped
+(``max_dump_bytes``), so a flapping relay cannot fill a soak run's
+disk with identical black boxes.  When a profiler / attribution sink
+is attached, each box additionally embeds the trailing-window flame
+graph and the wire-byte attribution table — the evidence a perf-budget
+breach points at.  An over-budget box is trimmed deterministically
+(newest events/spans kept, bulky sections dropped last) and flagged
+``"truncated": true``; trimming only ever removes list entries or
+whole sections, so a capped dump is always valid JSON.
 """
 
 from __future__ import annotations
@@ -54,6 +61,10 @@ class FlightRecorder:
         resync_window: float = 10.0,
         max_dumps: int = 16,
         min_dump_interval: float = 1.0,
+        profiler=None,
+        attribution=None,
+        profile_window: float = 30.0,
+        max_dump_bytes: int = 262144,
     ):
         self.events = events
         self.registry = registry
@@ -63,6 +74,14 @@ class FlightRecorder:
         self.resync_window = resync_window
         self.max_dumps = max_dumps
         self.min_dump_interval = min_dump_interval
+        #: Optional continuous-profiling / byte-attribution feeds; when
+        #: attached, every box embeds the trailing-window profile (with
+        #: collapsed flame-graph stacks) and the attribution rollups.
+        self.profiler = profiler
+        self.attribution = attribution
+        self.profile_window = profile_window
+        #: Serialized-size budget per box; 0 disables the cap.
+        self.max_dump_bytes = max_dump_bytes
 
         #: The continuously-maintained tail, across all nodes.
         self._tail: Deque[Event] = deque(maxlen=capacity)
@@ -110,6 +129,56 @@ class FlightRecorder:
             box["spans"] = [
                 span.to_dict() for span in self.tracer.spans if span.trace_id in wanted
             ]
+        if self.profiler is not None:
+            profile = self.profiler.window(float(box["t"]), self.profile_window)
+            box["profile"] = profile.to_dict()
+        if self.attribution is not None:
+            box["attribution"] = self.attribution.to_dict()
+        return self._enforce_cap(box)
+
+    def _enforce_cap(self, box: Dict[str, object]) -> Dict[str, object]:
+        """Trim an over-budget box down to ``max_dump_bytes``.
+
+        Deterministic and JSON-safe: halve the bulky lists (newest
+        entries survive — they are closest to the incident), then drop
+        whole sections, bulkiest evidence first.  The box dict itself
+        is always what gets serialized, so the result is valid JSON at
+        every step."""
+        limit = self.max_dump_bytes
+        if not limit:
+            return box
+
+        def oversized() -> bool:
+            return len(json.dumps(box, sort_keys=True).encode("utf-8")) > limit
+
+        if not oversized():
+            return box
+        box["truncated"] = True
+
+        def halve(key: str, container: Dict[str, object]) -> bool:
+            entries = container.get(key)
+            if isinstance(entries, list) and len(entries) > 4:
+                container[key] = entries[len(entries) // 2:]
+                return True
+            return False
+
+        while oversized():
+            if halve("spans", box) or halve("events", box):
+                continue
+            profile = box.get("profile")
+            if isinstance(profile, dict) and (
+                halve("collapsed_wall", profile) or halve("collapsed", profile)
+            ):
+                continue
+            for section in ("spans", "profile", "attribution", "metrics", "events"):
+                if section in box:
+                    del box[section]
+                    break
+            else:
+                # Only the incident header is left; the trace-id index
+                # is the one remaining list that can still be bulky.
+                if not halve("trace_ids", box):
+                    return box
         return box
 
     def trigger(self, reason: str, t: Optional[float] = None) -> Optional[Dict[str, object]]:

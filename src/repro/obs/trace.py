@@ -96,7 +96,17 @@ def parse_trace_header(value: Optional[str]) -> Optional[SpanContext]:
 class Span:
     """One timed pipeline stage inside a trace."""
 
-    __slots__ = ("trace_id", "span_id", "parent_id", "name", "node", "start", "end", "tags")
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "node",
+        "start",
+        "end",
+        "tags",
+        "child_seconds",
+    )
 
     def __init__(
         self,
@@ -120,6 +130,11 @@ class Span:
         #: Sim-time the stage finished (None while open).
         self.end: Optional[float] = None
         self.tags: Dict[str, object] = dict(tags or {})
+        #: Sim-time covered by direct children, clipped to this span's
+        #: interval — what separates *inclusive* duration from *self*
+        #: time.  Filled by :func:`repro.obs.profile.build_profile`
+        #: (recording a span costs nothing extra on the hot path).
+        self.child_seconds = 0.0
 
     @property
     def context(self) -> SpanContext:
@@ -133,6 +148,15 @@ class Span:
     def duration(self) -> float:
         """Sim-seconds the stage spanned (0.0 while still open)."""
         return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        """Exclusive sim-time: the inclusive duration minus the stretch
+        covered by direct children (never negative).  Meaningful once a
+        profile pass has filled :attr:`child_seconds`; before that it
+        equals the inclusive duration."""
+        remainder = self.duration - self.child_seconds
+        return remainder if remainder > 0.0 else 0.0
 
     def finish(self, t: float) -> "Span":
         """Close the span at sim-time ``t``."""
@@ -151,6 +175,7 @@ class Span:
             "start": self.start,
             "end": self.end,
             "duration": self.duration,
+            "self": self.self_seconds,
             "tags": dict(self.tags),
         }
 
@@ -229,6 +254,29 @@ class Tracer:
     def spans_for(self, trace_id: str) -> List[Span]:
         """The spans of one trace, in creation order."""
         return [span for span in self._spans if span.trace_id == trace_id]
+
+    def spans_since(self, t: float) -> List[Span]:
+        """Spans that *started* at or after sim-time ``t``.
+
+        Walks the ring from the newest end so a trailing window costs
+        O(window), not O(retained).  Spans may be recorded
+        retroactively (a serve span opens at poll-*arrival* time), so
+        creation order is not monotone in ``start``; the sound stop
+        rule uses ``end``: a span always finishes at or after the
+        sim-time it was recorded, so the first *finished* span with
+        ``end < t`` proves every older span was recorded — and
+        therefore started — before ``t``.  Open spans are skipped
+        without stopping the walk.
+        """
+        out: List[Span] = []
+        for span in reversed(self._spans):
+            end = span.end
+            if end is not None and end < t:
+                break
+            if span.start >= t:
+                out.append(span)
+        out.reverse()
+        return out
 
     def span_by_id(self, span_id: str) -> Optional[Span]:
         for span in self._spans:

@@ -239,3 +239,107 @@ class TestEmptyRunExits:
         monkeypatch.setattr(MetricsRegistry, "collect", lambda self: [])
         assert main(["metrics"]) == 1
         assert "produced no metrics" in capsys.readouterr().err
+
+
+class TestObservabilityParser:
+    def test_trace_flame_graph_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "--collapsed", "s.folded", "--speedscope", "p.json"]
+        )
+        assert args.collapsed == "s.folded"
+        assert args.speedscope == "p.json"
+
+    def test_metrics_and_health_format_flag(self):
+        assert build_parser().parse_args(["metrics"]).format == "text"
+        assert (
+            build_parser().parse_args(["metrics", "--format", "json"]).format == "json"
+        )
+        assert build_parser().parse_args(["health"]).format == "text"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--format", "yaml"])
+
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.command == "top"
+        assert (args.participants, args.branching) == (6, 2)
+        assert args.speedscope is None
+
+
+class TestJsonOutput:
+    def test_metrics_json_round_trips(self, capsys):
+        import json
+
+        assert main(["metrics", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list) and rows
+        names = {row["name"] for row in rows}
+        assert "agent_polls" in names
+        histogram = next(r for r in rows if r["type"] == "histogram")
+        assert {"count", "p50", "p95", "p99"} <= set(histogram)
+
+    def test_health_json_round_trips(self, capsys):
+        import json
+
+        assert main(["health", "--duration", "4", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["worst_level"] == "OK"
+        rules = {verdict["rule"] for verdict in document["verdicts"]}
+        assert "staleness_p95" in rules
+        # The perf-budget rules ride along when the feeds are attached.
+        assert "serve_self_p95" in rules
+        assert "member_uplink_bytes" in rules
+
+
+class TestTopCommand:
+    def test_top_prints_fleet_profile_and_attribution(self, capsys):
+        assert main(["top", "--participants", "4", "--duration", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet at t=" in out
+        assert "relays" in out and "transport" in out
+        assert "Profile (trailing" in out
+        assert "host.serve" in out
+        assert "Wire-byte attribution" in out
+        assert "TOTAL" in out
+        assert "Session health" in out
+
+    def test_top_exports_speedscope(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "top.speedscope.json"
+        assert main(["top", "--duration", "4", "--speedscope", str(path)]) == 0
+        assert "speedscope" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert document["$schema"].endswith("file-format-schema.json")
+        assert document["profiles"]
+
+
+class TestTraceFlameGraphExports:
+    def test_trace_writes_collapsed_and_speedscope(self, tmp_path, capsys):
+        import json
+
+        folded = tmp_path / "stacks.folded"
+        speedscope = tmp_path / "trace.speedscope.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--participants",
+                    "2",
+                    "--collapsed",
+                    str(folded),
+                    "--speedscope",
+                    str(speedscope),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "collapsed stacks" in out
+        assert "speedscope.app" in out
+        lines = folded.read_text().splitlines()
+        assert lines
+        for line in lines:
+            frames, value = line.rsplit(" ", 1)
+            assert frames and int(value) >= 0
+        document = json.loads(speedscope.read_text())
+        assert any(frame["name"] == "host.serve" for frame in document["shared"]["frames"])

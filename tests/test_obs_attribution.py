@@ -1,0 +1,138 @@
+"""Tests for wire-byte cost attribution: records, rollups, rendering."""
+
+import json
+
+from repro.obs import (
+    PAYLOAD_BUCKETS,
+    ByteAttribution,
+    render_attribution_table,
+)
+
+
+class TestResponseAttribution:
+    def test_framing_is_the_residual(self):
+        sink = ByteAttribution()
+        record = sink.begin("host", "m1", "full", 3, {"head": 40, "body": 100})
+        assert record.payload_bytes == 140
+        record.finalize(5.0, 200)
+        assert record.buckets["framing"] == 60
+        assert sum(record.buckets.values()) == record.shipped == 200
+
+    def test_zero_framing_adds_no_bucket(self):
+        sink = ByteAttribution()
+        record = sink.begin("host", "m1", "delta", 4, {"delta": 64})
+        record.finalize(1.0, 64)
+        assert "framing" not in record.buckets
+
+    def test_empty_response_is_pure_framing(self):
+        sink = ByteAttribution()
+        record = sink.begin("host", "m1", "empty", 4)
+        record.finalize(1.0, 87)
+        assert record.buckets == {"framing": 87}
+
+    def test_finalize_feeds_the_sink(self):
+        sink = ByteAttribution()
+        sink.begin("host", "m1", "full", 1, {"body": 10}).finalize(1.0, 30)
+        assert sink.responses == 1
+        assert sink.total_bytes == 30
+        assert sink.totals == {"body": 10, "framing": 20}
+
+
+class TestByteAttributionRollups:
+    def feed(self, sink):
+        sink.begin("host", "m1", "full", 1, {"head": 5, "body": 20}).finalize(1.0, 40)
+        sink.begin("host", "m1", "delta", 2, {"delta": 8}).finalize(2.0, 20)
+        sink.begin("r1", "m2", "full", 2, {"head": 5, "body": 20}).finalize(2.0, 40)
+
+    def test_per_member_and_totals(self):
+        sink = ByteAttribution()
+        self.feed(sink)
+        assert sink.member_bytes("m1") == 60
+        assert sink.member_bytes("m2") == 40
+        assert sink.total_bytes == 100
+        assert sink.totals["head"] == 10
+        assert sink.per_kind == {"full": 80, "delta": 20}
+
+    def test_per_doc_state(self):
+        sink = ByteAttribution()
+        self.feed(sink)
+        assert sum(sink.per_doc_state[2].values()) == 60
+
+    def test_tier_resolution(self):
+        tiers = {"m1": 1, "m2": 2}
+        sink = ByteAttribution(tier_of=tiers.get)
+        self.feed(sink)
+        assert sum(sink.per_tier["tier:1"].values()) == 60
+        assert sum(sink.per_tier["tier:2"].values()) == 40
+
+    def test_unresolvable_member_lands_in_unknown_tier(self):
+        sink = ByteAttribution(tier_of=lambda member: None)
+        self.feed(sink)
+        assert set(sink.per_tier) == {"?"}
+
+    def test_top_members_ranking_and_tie_break(self):
+        sink = ByteAttribution()
+        sink.begin("host", "b", "full", 1, {}).finalize(1.0, 50)
+        sink.begin("host", "a", "full", 1, {}).finalize(1.0, 50)
+        sink.begin("host", "c", "full", 1, {}).finalize(1.0, 99)
+        assert sink.top_members(2) == [("c", 99), ("a", 50)]
+        assert sink.top_members() == [("c", 99), ("a", 50), ("b", 50)]
+
+    def test_top_tiers(self):
+        tiers = {"m1": 1, "m2": 2}
+        sink = ByteAttribution(tier_of=tiers.get)
+        self.feed(sink)
+        assert sink.top_tiers() == [("tier:1", 60), ("tier:2", 40)]
+
+    def test_to_dict_is_json_ready(self):
+        sink = ByteAttribution()
+        self.feed(sink)
+        document = json.loads(json.dumps(sink.to_dict()))
+        assert document["responses"] == 3
+        assert document["total_bytes"] == 100
+        assert document["per_member"]["m1"]["delta"] == 8
+        assert document["per_doc_state"]["2"]
+
+
+class TestMemberRates:
+    def test_rates_cover_only_the_window(self):
+        sink = ByteAttribution(window=10.0)
+        sink.begin("host", "m1", "full", 1, {}).finalize(1.0, 1000)  # outside
+        sink.begin("host", "m1", "full", 2, {}).finalize(95.0, 300)
+        sink.begin("host", "m1", "full", 3, {}).finalize(99.0, 200)
+        rates = sink.member_rates(100.0)
+        assert rates["m1"] == 50.0  # (300 + 200) / 10s
+
+    def test_idle_member_rate_decays_to_zero(self):
+        sink = ByteAttribution(window=10.0)
+        sink.begin("host", "m1", "full", 1, {}).finalize(1.0, 500)
+        assert sink.member_rates(100.0) == {"m1": 0.0}
+
+
+class TestRenderTable:
+    def test_empty_sink(self):
+        assert "(no attributed responses)" in render_attribution_table(ByteAttribution())
+
+    def test_table_has_total_row_and_used_buckets_only(self):
+        sink = ByteAttribution()
+        sink.begin("host", "m1", "full", 1, {"head": 5, "body": 20}).finalize(1.0, 40)
+        text = render_attribution_table(sink)
+        lines = text.splitlines()
+        header = lines[2]
+        assert "head" in header and "body" in header and "framing" in header
+        assert "delta" not in header  # unused payload buckets stay hidden
+        assert lines[-1].startswith("TOTAL")
+        assert "40" in lines[-1]
+
+    def test_limit_caps_member_rows(self):
+        sink = ByteAttribution()
+        for index in range(8):
+            sink.begin("host", "m%d" % index, "full", 1, {}).finalize(1.0, 10 + index)
+        text = render_attribution_table(sink, limit=3)
+        lines = text.splitlines()
+        member_rows = lines[3:-1]  # between the header and the TOTAL row
+        assert len(member_rows) == 3
+        assert member_rows[0].startswith("m7")  # costliest first
+
+    def test_payload_bucket_taxonomy_is_stable(self):
+        assert PAYLOAD_BUCKETS == ("head", "body", "delta", "userActions", "docCookies")

@@ -1,0 +1,225 @@
+"""Tests for continuous profiling: self-time, call trees, exports."""
+
+import json
+
+from repro.obs import (
+    Profile,
+    Profiler,
+    Tracer,
+    build_profile,
+    collapsed_stacks,
+    render_profile_summary,
+    speedscope_profile,
+    write_collapsed,
+    write_speedscope,
+)
+
+
+def make_tracer():
+    return Tracer()
+
+
+class TestSelfTime:
+    def test_self_time_subtracts_direct_children(self):
+        tracer = make_tracer()
+        parent = tracer.start_span("host.serve", t=0.0, node="host")
+        tracer.start_span("transport.hold", t=1.0, parent=parent, node="host").finish(4.0)
+        parent.finish(5.0)
+        profile = Profile(tracer.spans)
+        kinds = profile.by_kind()
+        assert kinds["host.serve"]["inclusive"] == 5.0
+        assert kinds["host.serve"]["self"] == 2.0
+        assert kinds["transport.hold"]["self"] == 3.0
+
+    def test_child_outliving_parent_credits_only_the_overlap(self):
+        tracer = make_tracer()
+        parent = tracer.start_span("host.serve", t=0.0, node="host")
+        child = tracer.start_span("transport.hold", t=3.0, parent=parent, node="host")
+        parent.finish(5.0)
+        child.finish(9.0)  # outlives the parent by 4s
+        profile = Profile(tracer.spans)
+        assert profile.by_kind()["host.serve"]["self"] == 3.0
+
+    def test_self_time_clamped_at_zero(self):
+        tracer = make_tracer()
+        parent = tracer.start_span("host.serve", t=2.0, node="host")
+        # Two children whose overlap together exceeds the parent's extent
+        # (sibling overlap is not deduplicated).
+        tracer.start_span("transport.hold", t=2.0, parent=parent).finish(5.0)
+        tracer.start_span("transport.hold", t=2.0, parent=parent).finish(5.0)
+        parent.finish(5.0)
+        profile = Profile(tracer.spans)
+        assert profile.by_kind()["host.serve"]["self"] == 0.0
+
+    def test_open_spans_are_excluded(self):
+        tracer = make_tracer()
+        tracer.start_span("host.serve", t=0.0, node="host")  # never finished
+        tracer.start_span("host.generate", t=0.0, node="host").finish(0.0)
+        profile = Profile(tracer.spans)
+        assert set(profile.by_kind()) == {"host.generate"}
+
+    def test_wall_axis_comes_from_tags(self):
+        tracer = make_tracer()
+        tracer.start_span(
+            "host.generate", t=1.0, node="host", wall_seconds=0.25
+        ).finish(1.0)
+        profile = Profile(tracer.spans)
+        row = profile.by_kind()["host.generate"]
+        assert row["self"] == 0.0  # instantaneous in sim-time
+        assert row["wall"] == 0.25
+        assert profile.total_wall() == 0.25
+
+    def test_since_filters_by_start(self):
+        tracer = make_tracer()
+        tracer.start_span("old", t=1.0, node="n").finish(2.0)
+        tracer.start_span("new", t=10.0, node="n").finish(11.0)
+        profile = build_profile(tracer, since=5.0)
+        assert set(profile.by_kind()) == {"new"}
+
+
+class TestCallTree:
+    def build(self):
+        tracer = make_tracer()
+        generate = tracer.start_span("host.generate", t=0.0, node="host")
+        generate.finish(0.0)
+        serve = tracer.start_span("host.serve", t=0.0, parent=generate, node="host")
+        serve.finish(2.0)
+        apply_span = tracer.start_span(
+            "snippet.apply", t=1.5, parent=serve, node="m1", wall_seconds=0.001
+        )
+        apply_span.finish(2.5)
+        return tracer
+
+    def test_stacks_are_rooted_paths(self):
+        profile = Profile(self.build().spans)
+        paths = [row[0] for row in profile.stacks()]
+        assert ("host.generate",) in paths
+        assert ("host.generate", "host.serve") in paths
+        assert ("host.generate", "host.serve", "snippet.apply") in paths
+
+    def test_collapsed_lines_are_integer_microseconds(self):
+        profile = Profile(self.build().spans)
+        lines = profile.collapsed()
+        assert "host.generate;host.serve 1500000" in lines
+        assert "host.generate;host.serve;snippet.apply 1000000" in lines
+        for line in lines:
+            frames, value = line.rsplit(" ", 1)
+            assert frames and int(value) > 0
+
+    def test_by_node_rollup(self):
+        profile = Profile(self.build().spans)
+        nodes = profile.by_node()
+        assert nodes["host"]["count"] == 2
+        assert nodes["m1"]["wall"] == 0.001
+
+    def test_self_samples_feed(self):
+        profile = Profile(self.build().spans)
+        samples = profile.self_samples(".serve")
+        assert samples == {"host": [1.5]}
+        wall = profile.self_samples(".apply", wall=True)
+        assert wall == {"m1": [0.001]}
+
+    def test_parent_outside_window_roots_here(self):
+        tracer = make_tracer()
+        old = tracer.start_span("host.serve", t=0.0, node="host").finish(1.0)
+        tracer.start_span("snippet.apply", t=10.0, parent=old, node="m1").finish(11.0)
+        profile = build_profile(tracer, since=5.0)
+        assert [row[0] for row in profile.stacks()] == [("snippet.apply",)]
+
+    def test_to_dict_is_json_ready(self):
+        profile = Profile(self.build().spans)
+        document = json.loads(json.dumps(profile.to_dict()))
+        assert document["spans"] == 3
+        assert document["kinds"]["host.serve"]["self"] == 1.5
+        assert document["collapsed"]
+
+
+class TestSpansSinceRetroactive:
+    def test_retroactive_serve_span_still_found(self):
+        """Serve spans open at poll-*arrival* time, so a span recorded
+        late can start before spans recorded earlier; the window walk
+        must not stop early and lose it."""
+        tracer = make_tracer()
+        tracer.start_span("host.generate", t=50.0, node="host").finish(50.0)
+        # Recorded later, but started long before (a held long poll).
+        tracer.start_span("host.serve", t=10.0, node="host").finish(55.0)
+        tracer.start_span("host.generate", t=60.0, node="host").finish(60.0)
+        recent = tracer.spans_since(40.0)
+        names = [span.name for span in recent]
+        assert names.count("host.generate") == 2
+        window = build_profile(tracer, since=40.0)
+        # The serve span started before the window; it is excluded.
+        assert set(window.by_kind()) == {"host.generate"}
+
+    def test_open_spans_do_not_stop_the_walk(self):
+        tracer = make_tracer()
+        tracer.start_span("a", t=1.0, node="n").finish(2.0)
+        tracer.start_span("open", t=1.0, node="n")  # never finishes
+        tracer.start_span("b", t=10.0, node="n").finish(11.0)
+        assert [span.name for span in tracer.spans_since(5.0)] == ["b"]
+
+
+class TestProfilerFrontEnd:
+    def test_window_is_a_trailing_profile(self):
+        tracer = make_tracer()
+        tracer.start_span("old", t=0.0, node="n").finish(1.0)
+        tracer.start_span("new", t=95.0, node="n").finish(96.0)
+        profiler = Profiler(tracer)
+        window = profiler.window(100.0, 30.0)
+        assert window.since == 70.0
+        assert set(window.by_kind()) == {"new"}
+
+    def test_render_summary_orders_by_self_time(self):
+        tracer = make_tracer()
+        tracer.start_span("cheap", t=0.0, node="n").finish(0.5)
+        tracer.start_span("hot", t=1.0, node="n").finish(9.0)
+        text = render_profile_summary(Profiler(tracer).profile(), title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        hot = next(i for i, line in enumerate(lines) if line.startswith("hot"))
+        cheap = next(i for i, line in enumerate(lines) if line.startswith("cheap"))
+        assert hot < cheap
+
+    def test_render_summary_empty(self):
+        assert "(no finished spans)" in render_profile_summary(Profile([]))
+
+
+class TestFlameGraphExports:
+    def build(self):
+        tracer = make_tracer()
+        root = tracer.start_span("host.serve", t=0.0, node="host", wall_seconds=0.002)
+        tracer.start_span("transport.hold", t=0.5, parent=root, node="host").finish(1.5)
+        root.finish(2.0)
+        return tracer
+
+    def test_collapsed_round_trip(self, tmp_path):
+        path = tmp_path / "stacks.collapsed"
+        count = write_collapsed(self.build(), str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == count > 0
+        assert collapsed_stacks(self.build()) == "\n".join(lines)
+
+    def test_speedscope_document_shape(self):
+        document = speedscope_profile(self.build(), name="unit")
+        assert document["$schema"].endswith("file-format-schema.json")
+        assert document["name"] == "unit"
+        names = [frame["name"] for frame in document["shared"]["frames"]]
+        assert "host.serve" in names and "transport.hold" in names
+        sim, wall = document["profiles"]
+        assert sim["name"] == "sim self-time" and wall["name"] == "wall compute"
+        for axis in (sim, wall):
+            assert axis["unit"] == "microseconds"
+            assert len(axis["samples"]) == len(axis["weights"])
+            assert axis["endValue"] == sum(axis["weights"])
+            for sample in axis["samples"]:
+                assert all(0 <= idx < len(names) for idx in sample)
+        # Sim axis: 1s self for serve + 1s for hold; wall axis: serve only.
+        assert sum(sim["weights"]) == 2000000
+        assert sum(wall["weights"]) == 2000
+
+    def test_speedscope_round_trip(self, tmp_path):
+        path = tmp_path / "profile.speedscope.json"
+        count = write_speedscope(self.build(), str(path), name="rt")
+        document = json.loads(path.read_text())
+        assert count == sum(len(p["samples"]) for p in document["profiles"])
+        assert document["exporter"] == "repro.obs.export"

@@ -123,3 +123,131 @@ class TestBlackBox:
         bus.emit(RELAY_DEATH, 1.0, node="a")
         bus.emit(RELAY_DEATH, 9.0, node="b")
         assert recorder.last_dump["t"] == 9.0
+
+
+class TestProfileAndAttributionSections:
+    def feeds(self):
+        from repro.obs import ByteAttribution, Profiler
+
+        tracer = Tracer()
+        for tick in range(8):
+            span = tracer.start_span("host.serve", t=float(tick), node="host")
+            span.finish(tick + 0.5)
+        attribution = ByteAttribution()
+        for tick in range(8):
+            attribution.begin("host", "m%d" % (tick % 2), "full", tick, {"body": 40}).finalize(
+                float(tick), 100
+            )
+        return tracer, Profiler(tracer), attribution
+
+    def test_box_embeds_profile_and_attribution(self):
+        tracer, profiler, attribution = self.feeds()
+        bus = EventBus()
+        recorder = FlightRecorder(
+            bus, tracer=tracer, profiler=profiler, attribution=attribution
+        )
+        bus.emit(POLL_SERVED, 7.0, node="host")
+        box = recorder.dump("on-demand", t=7.5)
+        assert box["profile"]["spans"] == 8
+        assert box["profile"]["collapsed"]
+        assert box["attribution"]["responses"] == 8
+        assert box["attribution"]["per_member"]["m0"]["body"] == 160
+        json.dumps(box)  # the whole box stays JSON-serializable
+
+    def test_profile_window_bounds_the_embedded_profile(self):
+        tracer, profiler, attribution = self.feeds()
+        bus = EventBus()
+        recorder = FlightRecorder(
+            bus, profiler=profiler, attribution=attribution, profile_window=2.0
+        )
+        box = recorder.dump("on-demand", t=7.5)
+        # Only spans starting at t >= 5.5 are inside the window.
+        assert box["profile"]["spans"] == 2
+
+    def test_rate_limit_holds_with_heavy_sections(self):
+        tracer, profiler, attribution = self.feeds()
+        bus = EventBus()
+        recorder = FlightRecorder(
+            bus,
+            tracer=tracer,
+            profiler=profiler,
+            attribution=attribution,
+            min_dump_interval=1.0,
+        )
+        assert recorder.trigger("slo-breach:uplink@m0", t=5.0) is not None
+        assert recorder.trigger("slo-breach:uplink@m0", t=5.5) is None
+        assert len(recorder.dumps) == 1
+
+
+class TestDumpByteCap:
+    def noisy_world(self, max_dump_bytes, capacity=256):
+        from repro.obs import ByteAttribution, Profiler
+
+        tracer = Tracer()
+        bus = EventBus()
+        attribution = ByteAttribution()
+        recorder = FlightRecorder(
+            bus,
+            registry=MetricsRegistry(),
+            tracer=tracer,
+            profiler=Profiler(tracer),
+            attribution=attribution,
+            capacity=capacity,
+            max_dump_bytes=max_dump_bytes,
+        )
+        for tick in range(120):
+            span = tracer.start_span(
+                "host.serve", t=float(tick), node="host", detail="x" * 40
+            )
+            span.finish(tick + 0.25)
+            bus.emit(POLL_SERVED, float(tick), node="host", trace=span)
+            attribution.begin("host", "m%d" % (tick % 6), "full", tick, {"body": 64}).finalize(
+                float(tick), 256
+            )
+        return recorder
+
+    def test_uncapped_box_is_large_and_untruncated(self):
+        recorder = self.noisy_world(max_dump_bytes=0)
+        box = recorder.dump("on-demand", t=120.0)
+        assert "truncated" not in box
+        assert len(json.dumps(box).encode("utf-8")) > 16384
+
+    def test_cap_holds_and_box_stays_valid_json(self):
+        limit = 16384
+        recorder = self.noisy_world(max_dump_bytes=limit)
+        box = recorder.dump("on-demand", t=120.0)
+        encoded = json.dumps(box, sort_keys=True).encode("utf-8")
+        assert len(encoded) <= limit
+        decoded = json.loads(encoded)
+        assert decoded["truncated"] is True
+        assert decoded["reason"] == "on-demand"
+
+    def test_trimming_keeps_the_newest_evidence(self):
+        recorder = self.noisy_world(max_dump_bytes=24576)
+        box = recorder.dump("on-demand", t=120.0)
+        assert box["truncated"] is True
+        spans = box["spans"]
+        assert spans, "halving keeps the newest half, never drops to empty first"
+        assert spans[-1]["start"] == 119.0
+        assert spans[0]["start"] > 0.0
+        # The event tail was never the over-budget part; it survives whole.
+        assert len(box["events"]) == 120
+
+    def test_severe_cap_drops_sections_in_order(self):
+        recorder = self.noisy_world(max_dump_bytes=900)
+        box = recorder.dump("on-demand", t=120.0)
+        encoded = json.dumps(box, sort_keys=True).encode("utf-8")
+        assert len(encoded) <= 900
+        assert box["truncated"] is True
+        # The bulky sections went first; the incident header survives.
+        assert "spans" not in box and "profile" not in box
+        assert box["reason"] == "on-demand"
+        assert "trace_ids" in box
+
+    def test_write_last_round_trips_a_capped_box(self, tmp_path):
+        recorder = self.noisy_world(max_dump_bytes=8192)
+        recorder.dump("on-demand", t=120.0)
+        path = tmp_path / "capped.json"
+        assert recorder.write_last(str(path)) is True
+        box = json.loads(path.read_text())
+        assert box["truncated"] is True

@@ -317,3 +317,81 @@ class TestStatsFacadeMapping:
         assert set(facade.keys()) == {"polls", "last_seconds"}
         assert sorted(facade.items()) == [("last_seconds", 0.0), ("polls", 0)]
         assert 0 in list(facade.values())
+
+
+class TestWindowBoundaries:
+    """Eviction exactly at the window edge, and the percentiles there.
+
+    The histogram window is *count*-based: a large sim-time jump with no
+    traffic evicts nothing (that is pinned below).  Time-based aging is
+    the HealthMonitor's job — its staleness rings prune by sim-time on
+    both write and read.
+    """
+
+    def test_exactly_full_window_evicts_nothing(self):
+        registry = MetricsRegistry(histogram_window=8)
+        histogram = registry.histogram("lat")
+        for value in range(8):
+            histogram.observe(float(value))
+        assert histogram.values == [float(v) for v in range(8)]
+
+    def test_one_past_the_boundary_evicts_exactly_the_oldest(self):
+        registry = MetricsRegistry(histogram_window=8)
+        histogram = registry.histogram("lat")
+        for value in range(9):
+            histogram.observe(float(value))
+        assert histogram.values == [float(v) for v in range(1, 9)]
+        # All-time aggregates remember the evicted sample.
+        assert histogram.count == 9
+        assert histogram.min == 0.0
+
+    def test_boundary_percentiles_cover_only_the_window(self):
+        registry = MetricsRegistry(histogram_window=100)
+        histogram = registry.histogram("lat")
+        for value in range(200):
+            histogram.observe(float(value))
+        # Retained window is 100..199; nearest-rank over those 100.
+        assert histogram.p50 == 149.0
+        assert histogram.p95 == 194.0
+        assert histogram.p99 == 198.0
+        assert histogram.percentile(100) == 199.0
+        assert histogram.percentile(0) == 100.0
+
+    def test_nearest_rank_rounding_at_the_rank_edge(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for value in range(20):
+            histogram.observe(float(value))
+        # ceil(20 * p / 100): p=94 and p=95 share rank 19; p=96 tips to 20.
+        assert histogram.percentile(94) == 18.0
+        assert histogram.p95 == 18.0
+        assert histogram.percentile(96) == 19.0
+
+    def test_merge_overflow_keeps_the_newest_samples(self):
+        registry = MetricsRegistry(histogram_window=4)
+        a = registry.histogram("lat", node="a")
+        b = registry.histogram("lat", node="b")
+        for value in range(4):
+            a.observe(float(value))
+        for value in range(10, 14):
+            b.observe(float(value))
+        a.merge(b)
+        # The window held a's four samples; folding b's four in evicted
+        # them — newest (b's) survive, totals keep everything.
+        assert a.values == [10.0, 11.0, 12.0, 13.0]
+        assert a.count == 8
+        assert a.min == 0.0
+
+    def test_idle_time_jump_evicts_nothing(self):
+        # Pinned contract: count-based windows are sim-time-blind.  An
+        # idle session that jumps hours ahead still reports the same
+        # percentiles until fresh observations displace the old ones.
+        registry = MetricsRegistry(histogram_window=4)
+        histogram = registry.histogram("lat")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        before = (histogram.values, histogram.p95)
+        # ... hours of idle sim-time pass; no observe() calls ...
+        assert (histogram.values, histogram.p95) == before
+        histogram.observe(100.0)
+        assert histogram.values == [2.0, 3.0, 4.0, 100.0]
+        assert histogram.p95 == 100.0
