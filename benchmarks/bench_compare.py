@@ -8,7 +8,10 @@ relative change.  Files without a parsable figure are compared by
 content (``same`` / ``changed``) so layout-only renderings still show
 up in the report.  ``*.json`` artifacts (e.g. the transport frontier)
 are compared by canonical dump, so key reordering or indentation churn
-does not read as drift.
+does not read as drift; when the dumps differ, any numeric metric key
+present on only one side (added, removed, or renamed between the
+committed baseline and tonight's code) additionally gets an ``n/a``
+row instead of raising.
 
 Usage (nightly workflow)::
 
@@ -33,12 +36,13 @@ DRIFT_FLAG = 0.15
 
 
 def _figures(directory: str) -> dict:
-    """Map rendering name -> (figure or None, comparable text).
+    """Map rendering name -> (figure or None, comparable text, parsed).
 
     Covers ``*.txt`` renderings and ``*.json`` artifacts.  JSON files
     never carry an ops/s headline; they are normalized to a canonical
-    dump and compared by content, falling back to the raw bytes when a
-    file does not parse.
+    dump and compared by content (with the parsed document retained for
+    per-key drift rows), falling back to the raw bytes when a file does
+    not parse.
     """
     out = {}
     for name in sorted(os.listdir(directory)):
@@ -47,18 +51,62 @@ def _figures(directory: str) -> dict:
         with open(os.path.join(directory, name)) as handle:
             text = handle.read()
         if name.endswith(".json"):
+            parsed = None
             try:
-                text = json.dumps(json.loads(text), indent=2, sort_keys=True)
+                parsed = json.loads(text)
+                text = json.dumps(parsed, indent=2, sort_keys=True)
             except ValueError:
                 pass
-            out[name] = (None, text)
+            out[name] = (None, text, parsed)
             continue
         try:
             figure = parse_metric(text)
         except GuardError:
             figure = None
-        out[name] = (figure, text)
+        out[name] = (figure, text, None)
     return out
+
+
+def _numeric_leaves(obj, prefix="") -> dict:
+    """Flatten a parsed JSON document to ``dot.path -> float`` for every
+    numeric leaf (bools excluded)."""
+    leaves = {}
+    if isinstance(obj, bool):
+        return leaves
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            leaves.update(_numeric_leaves(value, "%s%s." % (prefix, key)))
+    elif isinstance(obj, list):
+        for index, value in enumerate(obj):
+            leaves.update(_numeric_leaves(value, "%s%d." % (prefix, index)))
+    elif isinstance(obj, (int, float)):
+        leaves[prefix.rstrip(".")] = float(obj)
+    return leaves
+
+
+def _metric_rows(name, base_obj, cur_obj):
+    """``n/a`` rows for metric keys present on only one side.
+
+    A numeric leaf that exists in just the committed baseline or just
+    tonight's artifact — a metric added, removed, or renamed between
+    the two — is reported instead of raising, one row per key.  Keys
+    shared by both sides are covered by the whole-file verdict."""
+    base_keys = _numeric_leaves(base_obj)
+    cur_keys = _numeric_leaves(cur_obj)
+    rows = []
+    for key in sorted(set(base_keys) ^ set(cur_keys)):
+        base_val = base_keys.get(key)
+        cur_val = cur_keys.get(key)
+        rows.append(
+            "| %s:%s | %s | %s | n/a |"
+            % (
+                name,
+                key,
+                "n/a" if base_val is None else "%g" % base_val,
+                "n/a" if cur_val is None else "%g" % cur_val,
+            )
+        )
+    return rows
 
 
 def compare(baseline_dir: str, current_dir: str) -> str:
@@ -79,11 +127,14 @@ def compare(baseline_dir: str, current_dir: str) -> str:
             status = "missing in %s" % ("baseline" if base is None else "current")
             lines.append("| %s | | | %s |" % (name, status))
             continue
-        base_fig, base_text = base
-        cur_fig, cur_text = cur
+        base_fig, base_text, base_parsed = base
+        cur_fig, cur_text, cur_parsed = cur
         if base_fig is None or cur_fig is None:
-            verdict = "same" if base_text == cur_text else "changed"
-            lines.append("| %s | – | – | %s |" % (name, verdict))
+            if base_text == cur_text:
+                lines.append("| %s | – | – | same |" % name)
+            else:
+                lines.append("| %s | – | – | changed |" % name)
+                lines.extend(_metric_rows(name, base_parsed, cur_parsed))
             continue
         change = (cur_fig - base_fig) / base_fig if base_fig else 0.0
         flag = " ⚠️" if change < -DRIFT_FLAG else ""

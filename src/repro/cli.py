@@ -34,6 +34,14 @@ Commands
 ``logs``
     Run the same monitored session and print the structured event tail,
     filterable by ``--type`` / ``--node``.
+``fleet``
+    Run the monitored session with the fleet telemetry plane enabled —
+    every member accumulates a client-measured digest (apply latency,
+    end-to-end staleness, resyncs, bytes, transport mode) piggybacked
+    upstream inside its polls — then print the host-side fleet view:
+    per-member / per-tier / fleet-wide rollups, detected stragglers,
+    and the telemetry wire overhead.  ``--json PATH`` also writes the
+    machine-readable fleet snapshot.
 """
 
 from __future__ import annotations
@@ -161,6 +169,22 @@ def build_parser() -> argparse.ArgumentParser:
     logs.add_argument(
         "--json", action="store_true", help="print events as JSON lines instead of a table"
     )
+
+    fleet = subparsers.add_parser(
+        "fleet", help="run a telemetry-enabled session and print the fleet view"
+    )
+    _add_monitored_session_args(fleet)
+    fleet.add_argument(
+        "--byte-cap",
+        type=int,
+        default=2048,
+        help="per-poll telemetry digest byte cap (default: 2048)",
+    )
+    fleet.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the fleet view snapshot as JSON to PATH",
+    )
     return parser
 
 
@@ -205,6 +229,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _top(args)
     if args.command == "logs":
         return _logs(args)
+    if args.command == "fleet":
+        return _fleet(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -446,11 +472,13 @@ def _metrics(args) -> int:
     return 0
 
 
-def _run_monitored_session(args):
+def _run_monitored_session(args, telemetry=None):
     """Run the health/logs scenario: a fanout session with the EventBus,
     tracer, flight recorder, and SLO monitor attached; the host mutates
     its document once per sim-second for ``--duration`` seconds, with an
-    optional injected relay death a few seconds in.
+    optional injected relay death a few seconds in.  ``telemetry`` (a
+    :class:`~repro.obs.FleetView`) additionally enables the fleet
+    telemetry plane.
 
     Returns ``(session, monitor, recorder)`` after the run completes.
     """
@@ -468,7 +496,13 @@ def _run_monitored_session(args):
     tracer = Tracer()
     events = EventBus()
     attribution = ByteAttribution()
-    session = CoBrowsingSession(host, tracer=tracer, events=events, attribution=attribution)
+    session = CoBrowsingSession(
+        host,
+        tracer=tracer,
+        events=events,
+        attribution=attribution,
+        telemetry=telemetry,
+    )
     session.fanout_tree(branching=args.branching)
     profiler = Profiler(tracer)
     recorder = FlightRecorder(
@@ -477,6 +511,7 @@ def _run_monitored_session(args):
         tracer=tracer,
         profiler=profiler,
         attribution=attribution,
+        fleet=session.fleet,
     )
     monitor = HealthMonitor(
         session, recorder=recorder, profiler=profiler, attribution=attribution
@@ -610,6 +645,29 @@ def _logs(args) -> int:
                     event.data or "",
                 )
             )
+    session.close()
+    return 0
+
+
+def _fleet(args) -> int:
+    import json as _json
+
+    from .obs import FleetView, render_fleet_view
+
+    session, _monitor, _recorder = _run_monitored_session(
+        args, telemetry=FleetView(byte_cap=args.byte_cap)
+    )
+    view = session.fleet
+    print(
+        render_fleet_view(
+            view, title="Fleet telemetry at t=%.3fs" % session.sim.now
+        )
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(view.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("wrote fleet view to %s" % args.json)
     session.close()
     return 0
 

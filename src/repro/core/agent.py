@@ -151,6 +151,7 @@ class RCBAgent(BrowserExtension):
         metrics_node: Optional[str] = None,
         events: Optional[EventBus] = None,
         attribution=None,
+        telemetry=None,
     ):
         super().__init__()
         self.port = port
@@ -276,6 +277,13 @@ class RCBAgent(BrowserExtension):
         #: None (the default) ships byte-identical traffic with no
         #: per-response records.
         self.attribution = attribution
+        #: Telemetry sink for piggybacked client digests — anything with
+        #: ``ingest(blob, t=None)``: the host wires a
+        #: :class:`repro.obs.fleet.FleetView`, a relay its own
+        #: :class:`repro.obs.digest.ClientTelemetry` (so subtree digests
+        #: merge and ride the relay's next upstream poll).  None (the
+        #: default) ignores the key entirely.
+        self.telemetry = telemetry
         #: Label distinguishing this agent's instruments when several
         #: agents (host + relays) share one registry.
         self.metrics_node = metrics_node
@@ -651,6 +659,14 @@ class RCBAgent(BrowserExtension):
         participant.polls += 1
         participant.last_poll_at = self.browser.sim.now
         their_time = int(payload.get("timestamp", 0))
+
+        # Piggybacked telemetry digest: ingest before the hold/serve
+        # branches so a poll that parks for seconds still delivers its
+        # subtree's measurements immediately.
+        if self.telemetry is not None:
+            reported_digest = payload.get("telemetry")
+            if reported_digest is not None:
+                self.telemetry.ingest(reported_digest, t=self.browser.sim.now)
 
         # Step 1: data merging — piggybacked participant actions.
         raw_actions = payload.get("actions") or []

@@ -96,6 +96,7 @@ class RelayAgent(RCBAgent):
         tracer: Optional[Tracer] = None,
         events: Optional[EventBus] = None,
         attribution=None,
+        telemetry=None,
     ):
         super().__init__(
             port=port,
@@ -111,6 +112,10 @@ class RelayAgent(RCBAgent):
             metrics_node=relay_id,
             events=events,
             attribution=attribution,
+            # The relay's own ClientTelemetry is also its downstream
+            # sink: children's digests merge into it and ride the next
+            # upstream poll — one bounded blob per tier.
+            telemetry=telemetry,
         )
         self.upstream_url = upstream_url
         #: This relay's participant id at its upstream (defaults to the
@@ -217,6 +222,9 @@ class RelayAgent(RCBAgent):
             metrics=self.metrics,
             tracer=self.tracer,
             events=self.events,
+            # Relay-owned reporter: survives upstream death and
+            # re-attachment, so unflushed records ride the new channel.
+            telemetry=self.telemetry,
         )
         snippet.apply_span_name = "relay.apply"
         # Resuming mid-session: tell the upstream what we already have,

@@ -30,7 +30,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from ..browser.browser import Browser
-from ..obs import RELAY_DEATH, EventBus, Histogram, MetricsRegistry, Tracer
+from ..obs import (
+    RELAY_DEATH,
+    ClientTelemetry,
+    EventBus,
+    FleetView,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+)
 from .agent import AGENT_DEFAULT_PORT, RCBAgent
 from .policy import ModerationPolicy
 from .relay import RelayAgent
@@ -89,9 +97,16 @@ class CoBrowsingSession:
         tracer: Optional[Tracer] = None,
         events: Optional[EventBus] = None,
         attribution=None,
+        telemetry=None,
     ):
         self.host_browser = host_browser
         self.sim = host_browser.sim
+        # ``telemetry`` opts the whole session into the fleet telemetry
+        # plane: a FleetView instance, or any truthy value for one with
+        # defaults.  Off (None/False) keeps every poll body
+        # byte-identical to the seed wire format.
+        if telemetry is not None and not isinstance(telemetry, FleetView):
+            telemetry = FleetView() if telemetry else None
         if agent is None:
             agent = RCBAgent(
                 port=port,
@@ -107,6 +122,7 @@ class CoBrowsingSession:
                 metrics_node=host_browser.name,
                 events=events,
                 attribution=attribution,
+                telemetry=telemetry,
             )
         else:
             if tracer is not None and agent.tracer is None:
@@ -115,6 +131,8 @@ class CoBrowsingSession:
                 agent.events = events
             if attribution is not None and agent.attribution is None:
                 agent.attribution = attribution
+            if telemetry is not None and agent.telemetry is None:
+                agent.telemetry = telemetry
         self.agent = agent
         #: The session-wide registry/tracer/event-bus/byte-sink every
         #: member publishes into.
@@ -126,6 +144,13 @@ class CoBrowsingSession:
             # Wire the tier resolver so rollups can group members by
             # relay-tree depth.
             self.attribution.tier_of = self.member_tier
+        #: Host-side fleet view (None unless telemetry was requested).
+        self.fleet = self.agent.telemetry
+        if self.fleet is not None and getattr(self.fleet, "tier_of", None) is None:
+            self.fleet.tier_of = self.member_tier
+        if self.events is not None:
+            # Satellite: surface ring-buffer eviction counts as gauges.
+            self.events.attach_registry(self.metrics)
         self.agent.install(host_browser)
         self.participants: Dict[str, AjaxSnippet] = {}
         #: Fan-out mode: participant id -> its RelayAgent.
@@ -205,6 +230,9 @@ class CoBrowsingSession:
             metrics=self.metrics,
             tracer=self.tracer,
             events=self.events,
+            telemetry=self._member_telemetry(
+                participant_id or participant_browser.name
+            ),
         )
         yield from snippet.connect()
         if snippet.participant_id in self.participants:
@@ -218,6 +246,17 @@ class CoBrowsingSession:
         if self.backoff is None:
             return None
         return self.backoff.derive(member_id)
+
+    def _member_telemetry(self, member_id: str):
+        """A per-member digest reporter, or None when the fleet
+        telemetry plane is off (keeping the wire byte-identical)."""
+        if self.fleet is None:
+            return None
+        return ClientTelemetry(
+            member_id,
+            byte_cap=self.fleet.byte_cap,
+            flush_interval=self.fleet.flush_interval,
+        )
 
     def _join_fanout(
         self,
@@ -248,6 +287,7 @@ class CoBrowsingSession:
             tracer=self.tracer,
             events=self.events,
             attribution=self.attribution,
+            telemetry=self._member_telemetry(member_id),
         )
         relay.install(participant_browser)
         try:

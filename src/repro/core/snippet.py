@@ -219,6 +219,7 @@ class AjaxSnippet:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         events: Optional[EventBus] = None,
+        telemetry=None,
     ):
         if browser_type not in ("firefox", "ie"):
             raise ValueError("browser_type must be 'firefox' or 'ie'")
@@ -246,6 +247,11 @@ class AjaxSnippet:
         self.tracer = tracer
         #: Structured event bus; None disables the event log.
         self.events = events
+        #: Client-side telemetry reporter
+        #: (:class:`repro.obs.digest.ClientTelemetry`); None (the
+        #: default) keeps every poll body byte-identical to the seed —
+        #: nothing is measured and nothing rides the wire.
+        self.telemetry = telemetry
         #: Context of the last successful apply span — the parent a
         #: relay hands its own downstream re-serves (trace continuity
         #: across tiers).
@@ -348,6 +354,8 @@ class AjaxSnippet:
                     # would re-type the URL to rejoin (or, for a relay,
                     # re-attachment to an ancestor begins).
                     self.stats.connection_errors += 1
+                    if self.telemetry is not None:
+                        self.telemetry.record_connection_error()
                     self._consecutive_failures += 1
                     if self._consecutive_failures > self.max_poll_failures:
                         self._connected = False
@@ -390,6 +398,17 @@ class AjaxSnippet:
             # The key is appended after the seed fields, so a plain
             # polling client's request stays byte-identical to the seed.
             payload["transport"] = self.transport_mode
+        telemetry_token = None
+        if self.telemetry is not None:
+            # Piggyback the pending digest (appended after the seed and
+            # transport keys; absent entirely when nothing is pending,
+            # so an idle reporter never perturbs the wire).  The
+            # snapshot commits on a 200 and rolls back on any failure —
+            # exactly-once transfer per hop.
+            snap = self.telemetry.snapshot(self.sim.now)
+            if snap is not None:
+                telemetry_token, blob = snap
+                payload["telemetry"] = blob
         body = json.dumps(payload).encode("utf-8")
         self.stats.actions_sent += len(self._outgoing)
         self._outgoing = []
@@ -398,10 +417,22 @@ class AjaxSnippet:
         url = self.agent_url.replace(path=target.split("?")[0],
                                      query=target.split("?", 1)[1] if "?" in target else None)
         started = self.sim.now
-        response = yield from self.browser.client.post(
-            url, body, content_type="application/json", dedicated=dedicated
-        )
+        try:
+            response = yield from self.browser.client.post(
+                url, body, content_type="application/json", dedicated=dedicated
+            )
+        except RequestFailed:
+            if telemetry_token is not None:
+                self.telemetry.rollback(telemetry_token)
+            raise
         self.stats.polls_sent += 1
+        if self.telemetry is not None:
+            if telemetry_token is not None:
+                if response.status == 200:
+                    self.telemetry.commit(telemetry_token)
+                else:
+                    self.telemetry.rollback(telemetry_token)
+            self.telemetry.record_poll(len(response.body), self.transport_mode)
         self._note_granted_transport(response.headers.get(TRANSPORT_HEADER))
         if response.status != 200 or not response.body:
             self.stats.empty_responses += 1
@@ -516,6 +547,13 @@ class AjaxSnippet:
             # supplementary objects are still in flight.
             self.last_doc_time = content.doc_time
             self.stats.content_updates += 1
+            if self.telemetry is not None:
+                # Client truth: staleness is measured here, at apply
+                # time, from the envelope's own doc_time stamp.
+                self.telemetry.record_apply(
+                    max(0, int(self.sim.now * 1000) - content.doc_time),
+                    self.stats.last_update_seconds,
+                )
             self._finish_apply_span(span, self.stats.last_update_seconds)
             if self.on_content is not None:
                 self.on_content(content)
@@ -556,6 +594,8 @@ class AjaxSnippet:
                 span.finish(self.sim.now)
             self.stats.delta_failures += 1
             self.last_doc_time = 0  # force a full-envelope resync next poll
+            if self.telemetry is not None:
+                self.telemetry.record_resync()
             if self.events is not None:
                 self.events.emit(
                     RESYNC_FORCED,
@@ -576,6 +616,12 @@ class AjaxSnippet:
         self.last_doc_time = content.doc_time
         self.stats.content_updates += 1
         self.stats.delta_updates += 1
+        if self.telemetry is not None:
+            self.telemetry.record_apply(
+                max(0, int(self.sim.now * 1000) - content.doc_time),
+                self.stats.last_update_seconds,
+                delta=True,
+            )
         self._finish_apply_span(span, self.stats.last_update_seconds)
         if self.on_content is not None:
             self.on_content(content)
@@ -773,6 +819,8 @@ class AjaxSnippet:
             yield from self.poll_once(dedicated=True)
         except RequestFailed:
             self.stats.connection_errors += 1
+            if self.telemetry is not None:
+                self.telemetry.record_connection_error()
         finally:
             self._flush_proc = None
             if span is not None:

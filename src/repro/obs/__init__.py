@@ -10,8 +10,11 @@ events + metrics + spans on triggering conditions
 (:mod:`repro.obs.recorder`), an SLO engine grading sessions OK / WARN /
 BREACH with hysteresis (:mod:`repro.obs.health`), continuous sim-time
 profiling with self-vs-inclusive span time (:mod:`repro.obs.profile`),
-wire-byte cost attribution (:mod:`repro.obs.attribution`), and JSONL /
-Chrome trace-event / flame-graph exports (:mod:`repro.obs.export`).
+wire-byte cost attribution (:mod:`repro.obs.attribution`), a fleet
+telemetry plane of mergeable client-measured digests piggybacked
+upstream (:mod:`repro.obs.digest`) aggregated into a host-side fleet
+view (:mod:`repro.obs.fleet`), and JSONL / Chrome trace-event /
+flame-graph exports (:mod:`repro.obs.export`).
 """
 
 from .attribution import (
@@ -19,6 +22,14 @@ from .attribution import (
     ByteAttribution,
     ResponseAttribution,
     render_attribution_table,
+)
+from .digest import (
+    FOLDED_ID,
+    ClientTelemetry,
+    LogBucketSketch,
+    MemberDelta,
+    TelemetryDigest,
+    encoded_bytes,
 )
 from .events import (
     DELTA_APPLY_FAILED,
@@ -49,6 +60,7 @@ from .export import (
     write_spans_jsonl,
     write_speedscope,
 )
+from .fleet import FleetView, render_fleet_view
 from .health import (
     BREACH,
     OK,
@@ -58,6 +70,7 @@ from .health import (
     SloRule,
     Verdict,
     default_rules,
+    fleet_rules,
     perf_budget_rules,
     transport_rules,
 )
@@ -89,11 +102,14 @@ from .trace import (
 __all__ = [
     "BREACH",
     "ByteAttribution",
+    "ClientTelemetry",
     "Counter",
     "DELTA_APPLY_FAILED",
     "DELTA_FALLBACK",
     "Event",
     "EventBus",
+    "FOLDED_ID",
+    "FleetView",
     "FlightRecorder",
     "FrameStat",
     "Gauge",
@@ -102,8 +118,10 @@ __all__ = [
     "HealthReport",
     "Histogram",
     "KNOWN_EVENT_TYPES",
+    "LogBucketSketch",
     "MEMBER_JOIN",
     "MEMBER_LEAVE",
+    "MemberDelta",
     "MetricsRegistry",
     "OK",
     "PAYLOAD_BUCKETS",
@@ -122,6 +140,7 @@ __all__ = [
     "StatsFacade",
     "TRACE_HEADER",
     "TRANSPORT_SWITCH",
+    "TelemetryDigest",
     "Tracer",
     "Verdict",
     "WARN",
@@ -129,12 +148,15 @@ __all__ = [
     "chrome_trace",
     "collapsed_stacks",
     "default_rules",
+    "encoded_bytes",
     "events_to_jsonl",
+    "fleet_rules",
     "format_trace_header",
     "parse_trace_header",
     "percentile",
     "perf_budget_rules",
     "render_attribution_table",
+    "render_fleet_view",
     "render_profile_summary",
     "spans_to_jsonl",
     "speedscope_profile",

@@ -172,6 +172,10 @@ class EventBus:
         #: All-time emission count per type (survives ring eviction —
         #: the cheap input for rate-style SLO rules).
         self._totals: Dict[str, int] = {}
+        #: All-time eviction count per node — how many events each
+        #: component's ring has dropped off its tail.
+        self._evicted: Dict[str, int] = {}
+        self._registry = None
 
     # -- emission ----------------------------------------------------------------------
 
@@ -199,11 +203,28 @@ class EventBus:
         ring = self._rings.get(node)
         if ring is None:
             ring = self._rings[node] = deque(maxlen=self.ring_size)
+        if len(ring) == ring.maxlen:
+            # The append below pushes the oldest event off the tail:
+            # count the loss so post-mortems know the ring was lossy.
+            evicted = self._evicted.get(node, 0) + 1
+            self._evicted[node] = evicted
+            if self._registry is not None:
+                self._registry.gauge("events_evicted", node=node).set(evicted)
         ring.append(event)
         self._totals[type] = self._totals.get(type, 0) + 1
         for subscriber in list(self._subscribers):
             subscriber(event)
         return event
+
+    def attach_registry(self, registry) -> None:
+        """Publish per-component eviction counts as ``events_evicted``
+        gauges in ``registry`` (idempotent; past counts are published
+        immediately, future evictions keep the gauges current)."""
+        if registry is None or registry is self._registry:
+            return
+        self._registry = registry
+        for node, evicted in self._evicted.items():
+            registry.gauge("events_evicted", node=node).set(evicted)
 
     # -- subscription ------------------------------------------------------------------
 
@@ -262,6 +283,12 @@ class EventBus:
     def total(self, type: str) -> int:
         """All-time emission count for ``type`` (eviction-proof)."""
         return self._totals.get(type, 0)
+
+    def evicted(self, node: Optional[str] = None) -> int:
+        """All-time ring evictions for ``node`` (all nodes when None)."""
+        if node is not None:
+            return self._evicted.get(node, 0)
+        return sum(self._evicted.values())
 
     def clear(self) -> None:
         """Drop every retained event (all-time totals survive)."""

@@ -49,6 +49,7 @@ __all__ = [
     "Verdict",
     "WARN",
     "default_rules",
+    "fleet_rules",
     "perf_budget_rules",
     "transport_rules",
 ]
@@ -388,6 +389,52 @@ def perf_budget_rules(
     ]
 
 
+def _fleet_staleness_values(monitor: "HealthMonitor") -> Dict[str, float]:
+    if monitor.fleet is None:
+        return {}
+    return monitor.fleet.member_staleness_p95()
+
+
+def _telemetry_overhead_values(monitor: "HealthMonitor") -> Dict[str, float]:
+    if monitor.fleet is None:
+        return {}
+    return {SESSION_SUBJECT: monitor.fleet.telemetry_overhead_ratio()}
+
+
+def fleet_rules(
+    staleness_warn_ms: float = 2500.0,
+    staleness_breach_ms: float = 5000.0,
+    overhead_warn_ratio: float = 0.02,
+    overhead_breach_ratio: float = 0.05,
+) -> List[SloRule]:
+    """Add-on rules over the fleet telemetry plane's *client-measured*
+    digests.  ``client_staleness_p95`` is the true end-to-end staleness
+    each member observed at apply time — unlike ``staleness_p95``, which
+    infers it host-side and aliases to near-zero under long-poll holds.
+    ``telemetry_overhead_ratio`` polices the plane itself: piggybacked
+    digest bytes must stay a small fraction of content bytes.  Both
+    statistics yield no subjects when the monitor has no fleet view, so
+    appending these to a telemetry-free session changes nothing."""
+    return [
+        SloRule(
+            "client_staleness_p95",
+            _fleet_staleness_values,
+            warn=staleness_warn_ms,
+            breach=staleness_breach_ms,
+            unit="ms",
+            description="client-measured p95 staleness at apply time",
+        ),
+        SloRule(
+            "telemetry_overhead_ratio",
+            _telemetry_overhead_values,
+            warn=overhead_warn_ratio,
+            breach=overhead_breach_ratio,
+            unit="",
+            description="piggybacked digest bytes over content bytes",
+        ),
+    ]
+
+
 class HealthMonitor:
     """Samples a session's health signals and evaluates the SLO rules.
 
@@ -409,6 +456,7 @@ class HealthMonitor:
         sample_interval: float = 0.5,
         profiler=None,
         attribution=None,
+        fleet=None,
     ):
         self.session = session
         self.events = events if events is not None else session.events
@@ -420,10 +468,14 @@ class HealthMonitor:
             if attribution is not None
             else getattr(session, "attribution", None)
         )
+        #: Fleet telemetry view for the client-measured rules.
+        self.fleet = fleet if fleet is not None else getattr(session, "fleet", None)
         if rules is None:
             rules = default_rules()
             if self.profiler is not None or self.attribution is not None:
                 rules = rules + perf_budget_rules()
+            if self.fleet is not None:
+                rules = rules + fleet_rules()
         self.rules = rules
         self.window = window
         self.recorder = recorder

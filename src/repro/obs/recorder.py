@@ -63,6 +63,7 @@ class FlightRecorder:
         min_dump_interval: float = 1.0,
         profiler=None,
         attribution=None,
+        fleet=None,
         profile_window: float = 30.0,
         max_dump_bytes: int = 262144,
     ):
@@ -79,6 +80,9 @@ class FlightRecorder:
         #: collapsed flame-graph stacks) and the attribution rollups.
         self.profiler = profiler
         self.attribution = attribution
+        #: Optional fleet telemetry view; each box embeds the fleet
+        #: rollup active at dump time.
+        self.fleet = fleet
         self.profile_window = profile_window
         #: Serialized-size budget per box; 0 disables the cap.
         self.max_dump_bytes = max_dump_bytes
@@ -134,6 +138,8 @@ class FlightRecorder:
             box["profile"] = profile.to_dict()
         if self.attribution is not None:
             box["attribution"] = self.attribution.to_dict()
+        if self.fleet is not None:
+            box["fleet"] = self.fleet.to_dict()
         return self._enforce_cap(box)
 
     def _enforce_cap(self, box: Dict[str, object]) -> Dict[str, object]:
@@ -170,7 +176,7 @@ class FlightRecorder:
                 halve("collapsed_wall", profile) or halve("collapsed", profile)
             ):
                 continue
-            for section in ("spans", "profile", "attribution", "metrics", "events"):
+            for section in ("spans", "profile", "attribution", "fleet", "metrics", "events"):
                 if section in box:
                     del box[section]
                     break

@@ -268,6 +268,48 @@ class TestBenchCompare:
         assert "| new.txt | | | missing in baseline |" in report
         assert "| old.txt | | | missing in current |" in report
 
+    def test_renamed_json_metric_keys_become_na_rows(self, tmp_path):
+        # A metric renamed between the committed baseline and tonight's
+        # code must not raise — each side-only key gets an n/a row.
+        self.fill(tmp_path / "base", "fleet.json", '{"stale_p95": 120, "polls": 4}')
+        self.fill(tmp_path / "cur", "fleet.json", '{"staleness_p95": 130, "polls": 4}')
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| fleet.json | – | – | changed |" in report
+        assert "| fleet.json:stale_p95 | 120 | n/a | n/a |" in report
+        assert "| fleet.json:staleness_p95 | n/a | 130 | n/a |" in report
+
+    def test_nested_missing_keys_use_dotted_paths(self, tmp_path):
+        self.fill(tmp_path / "base", "view.json", '{"fleet": {"polls": 9}}')
+        self.fill(
+            tmp_path / "cur", "view.json", '{"fleet": {"polls": 9, "resyncs": 1}}'
+        )
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| view.json:fleet.resyncs | n/a | 1 | n/a |" in report
+
+    def test_renamed_keys_keep_exit_zero(self, tmp_path, capsys):
+        self.fill(tmp_path / "base", "fleet.json", '{"old_key": 1}')
+        self.fill(tmp_path / "cur", "fleet.json", '{"new_key": 2}')
+        assert (
+            bench_compare.main([str(tmp_path / "base"), str(tmp_path / "cur")]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "n/a" in out
+
+    def test_value_only_json_drift_stays_a_changed_row(self, tmp_path):
+        # Same schema, different values: no per-key noise, just the
+        # canonical changed verdict.
+        self.fill(tmp_path / "base", "frontier.json", '{"a": 1}')
+        self.fill(tmp_path / "cur", "frontier.json", '{"a": 2}')
+        report = bench_compare.compare(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert "| frontier.json | – | – | changed |" in report
+        assert "frontier.json:a" not in report
+
     def test_main_prints_markdown_and_exits_zero(self, tmp_path, capsys):
         self.fill(tmp_path / "base", "surf.txt", "a (10.0 operations/s)")
         self.fill(tmp_path / "cur", "surf.txt", "a (11.0 operations/s)")

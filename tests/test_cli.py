@@ -343,3 +343,51 @@ class TestTraceFlameGraphExports:
             assert frames and int(value) >= 0
         document = json.loads(speedscope.read_text())
         assert any(frame["name"] == "host.serve" for frame in document["shared"]["frames"])
+
+
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.command == "fleet"
+        assert args.byte_cap == 2048
+        assert args.json is None
+        assert args.participants == 6
+
+    def test_fleet_prints_rollups_and_overhead(self, capsys):
+        assert main(["fleet", "--duration", "5", "--participants", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet telemetry at t=" in out
+        assert "members reporting" in out
+        assert "stale p95" in out
+        assert "telemetry overhead:" in out
+        assert "fleet" in out
+
+    def test_fleet_json_export_round_trips(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fleet.json"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--duration",
+                    "5",
+                    "--participants",
+                    "3",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert "wrote fleet view" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert document["members_reporting"] >= 3
+        assert document["fleet"]["counters"]["polls"] > 0
+        assert "telemetry_overhead_ratio" in document
+
+    def test_fleet_survives_relay_death(self, capsys):
+        assert main(["fleet", "--duration", "10", "--fail-relay"]) == 0
+        out = capsys.readouterr().out
+        assert "injecting relay death" in out
+        assert "members reporting" in out

@@ -1,0 +1,427 @@
+"""The fleet telemetry plane end to end: wire invariant, conservation,
+fleet view, SLO wiring, stragglers, and the eviction-gauge satellite.
+
+The two load-bearing properties:
+
+* **byte-identity when disabled** — a session without ``telemetry=``
+  (the default) moves exactly the same uplink bytes as one explicitly
+  disabled, and no poll body ever carries a ``telemetry`` key;
+* **conservation** — across a branching-4 depth-2 relay tree with an
+  injected relay death, the host's fleet totals plus every reporter's
+  unreported remainder equal the sum of per-member local ledgers, and
+  edit-driven counters drain to exact equality after quiescing.
+"""
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import CoBrowsingSession
+from repro.core.transport import TRANSPORT_ENV
+from repro.http import HttpRequest
+from repro.net import LAN_PROFILE, Host, Network
+from repro.obs import (
+    BREACH,
+    EventBus,
+    FleetView,
+    FlightRecorder,
+    HealthMonitor,
+    MemberDelta,
+    MetricsRegistry,
+    fleet_rules,
+    render_fleet_view,
+)
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+PAGE = (
+    "<html><head><title>Fleet test</title></head><body>"
+    + "".join("<p id='p%d'>paragraph %d body</p>" % (i, i) for i in range(8))
+    + "</body></html>"
+)
+
+
+def build_world(participants=2, **session_kwargs):
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page("/", PAGE)
+    OriginServer(network, "site.com", site.handle)
+    host_pc = Host(network, "host-pc", LAN_PROFILE, segment="campus")
+    host_browser = Browser(host_pc, name="bob")
+    session_kwargs.setdefault("poll_interval", 0.2)
+    session = CoBrowsingSession(host_browser, **session_kwargs)
+    browsers = []
+    for index in range(participants):
+        pc = Host(network, "part-pc-%d" % index, LAN_PROFILE, segment="campus")
+        browsers.append(Browser(pc, name="p%d" % index))
+    return sim, session, browsers
+
+
+def run(sim, generator, limit=1e9):
+    return sim.run_until_complete(sim.process(generator), limit=limit)
+
+
+def edit_paragraph(browser, index, text):
+    from repro.html import Text
+
+    def mutate(document):
+        target = document.get_element_by_id("p%d" % index)
+        target.remove_all_children()
+        target.append_child(Text(text))
+
+    browser.mutate_document(mutate)
+
+
+#: Captured once so stacked monkeypatches never wrap the wrapper.
+_REAL_TO_BYTES = HttpRequest.to_bytes
+
+
+def counting_requests(monkeypatch, ledger):
+    """Wrap HttpRequest.to_bytes so every uplink request is tallied."""
+
+    def wrapped(self):
+        data = _REAL_TO_BYTES(self)
+        ledger["bytes"] += len(data)
+        ledger["telemetry_requests"] += int(b'"telemetry"' in data)
+        return data
+
+    monkeypatch.setattr(HttpRequest, "to_bytes", wrapped)
+
+
+class TestWireInvariant:
+    def drive(self, session_kwargs, monkeypatch):
+        ledger = {"bytes": 0, "telemetry_requests": 0}
+        counting_requests(monkeypatch, ledger)
+        sim, session, (alice,) = build_world(participants=1, **session_kwargs)
+
+        def scenario():
+            snippet = yield from session.join(alice)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            for index in range(3):
+                edit_paragraph(session.host_browser, index, "edit %d" % index)
+                yield from session.wait_until_synced(timeout=10.0)
+            yield sim.timeout(2.0)
+            return snippet
+
+        snippet = run(sim, scenario())
+        client = snippet.browser.client
+        downlink = (
+            client.requests_sent,
+            client.bytes_received,
+            session.agent.stats["full_bytes_sent"],
+            session.agent.stats["delta_bytes_sent"],
+        )
+        return ledger, downlink, session
+
+    def test_disabled_is_byte_identical_and_key_free(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        seed_ledger, seed_down, _ = self.drive({}, monkeypatch)
+        off_ledger, off_down, session = self.drive({"telemetry": None}, monkeypatch)
+        # The default construction never even learns the kwarg exists.
+        assert session.fleet is None
+        assert seed_ledger["telemetry_requests"] == 0
+        assert off_ledger["telemetry_requests"] == 0
+        assert off_ledger["bytes"] == seed_ledger["bytes"]
+        assert off_down == seed_down
+
+    def test_enabled_rides_uplink_only(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        _off_ledger, off_down, _ = self.drive({}, monkeypatch)
+        on_ledger, on_down, session = self.drive({"telemetry": True}, monkeypatch)
+        assert session.fleet is not None
+        assert on_ledger["telemetry_requests"] > 0
+        # Telemetry is pure piggyback: the downlink (responses, content
+        # bytes served) is untouched by enabling it.
+        assert on_down == off_down
+        assert session.fleet.totals().counters["polls"] > 0
+
+    def test_every_blob_honours_the_byte_cap(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        view = FleetView(byte_cap=256)
+        _ledger, _down, session = self.drive({"telemetry": view}, monkeypatch)
+        assert session.fleet is view
+        assert view.digests_ingested > 0
+        assert view.max_blob_bytes <= 256
+
+
+def fanout_world(participants=20, **session_kwargs):
+    session_kwargs.setdefault("telemetry", True)
+    sim, session, browsers = build_world(participants=participants, **session_kwargs)
+    session.fanout_tree(branching=4)
+    return sim, session, browsers
+
+
+def sum_counters(deltas):
+    totals = {}
+    for delta in deltas:
+        for key, value in delta.counters.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+class TestConservation:
+    def drive_tree(self, fail=True):
+        sim, session, browsers = fanout_world(participants=20)
+        reporters = []
+
+        def scenario():
+            for browser in browsers:
+                relay = yield from session.join(browser)
+                reporters.append(relay.telemetry)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced(timeout=30.0)
+            for index in range(4):
+                edit_paragraph(session.host_browser, index, "round %d" % index)
+                yield from session.wait_until_synced(timeout=30.0)
+            # Quiesce long enough for two flush-interval hops (member ->
+            # relay -> host) plus poll cadence to drain every digest up.
+            yield sim.timeout(3.0 * session.fleet.flush_interval)
+            if fail:
+                victim = next(
+                    rid for rid, r in session.relays.items() if r.participants
+                )
+                session.fail_relay(victim)
+                yield sim.timeout(12.0)  # orphans re-attach
+                edit_paragraph(session.host_browser, 5, "after death")
+                yield from session.wait_until_synced(timeout=30.0)
+                yield sim.timeout(3.0)  # quiesce again
+
+        run(sim, scenario())
+        return session, reporters
+
+    def test_tree_conserves_without_failures(self):
+        session, reporters = self.drive_tree(fail=False)
+        fleet = session.fleet
+        assert fleet.member_count == 20
+        host = fleet.totals().counters
+        unreported = sum_counters(
+            r.unreported().totals() for r in reporters
+        )
+        locals_sum = sum_counters(r.local for r in reporters)
+        for key in MemberDelta.COUNTERS:
+            assert host.get(key, 0) + unreported.get(key, 0) == locals_sum.get(
+                key, 0
+            ), key
+        # After quiescing, every edit-driven record has drained upstream.
+        for key in ("content_updates", "delta_updates", "resyncs"):
+            assert host.get(key, 0) == locals_sum.get(key, 0), key
+
+    def test_tree_conserves_across_relay_death(self):
+        session, reporters = self.drive_tree(fail=True)
+        fleet = session.fleet
+        host = fleet.totals().counters
+        unreported = sum_counters(r.unreported().totals() for r in reporters)
+        locals_sum = sum_counters(r.local for r in reporters)
+        # The instant identity holds exactly even though a relay died
+        # with unflushed records: they are still in its reporter's
+        # pending set, counted as unreported.
+        for key in MemberDelta.COUNTERS:
+            assert host.get(key, 0) + unreported.get(key, 0) == locals_sum.get(
+                key, 0
+            ), key
+        # Survivors kept reporting after the death: the host saw applies
+        # from the post-death edit round too.
+        assert host.get("content_updates", 0) > 0
+        assert fleet.staleness_p95() > 0
+
+    def test_tiers_partition_the_fleet(self):
+        session, _reporters = self.drive_tree(fail=False)
+        fleet = session.fleet
+        tiers = fleet.per_tier()
+        assert set(tiers) == {1, 2}  # branching-4, 20 members: 4 + 16
+        tier_polls = sum(t.counters.get("polls", 0) for t in tiers.values())
+        assert tier_polls == fleet.totals().counters["polls"]
+
+
+class TestHealthAndRecorderWiring:
+    def drive_monitored(self):
+        events = EventBus()
+        sim, session, browsers = build_world(
+            participants=3, telemetry=True, events=events
+        )
+        recorder = FlightRecorder(
+            events, registry=session.metrics, fleet=session.fleet
+        )
+        monitor = HealthMonitor(session, recorder=recorder)
+
+        def scenario():
+            for browser in browsers:
+                yield from session.join(browser)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced()
+            sim.process(monitor.run())
+            for index in range(3):
+                edit_paragraph(session.host_browser, index, "tick %d" % index)
+                yield from session.wait_until_synced(timeout=10.0)
+                yield sim.timeout(1.0)
+            monitor.sample()
+            monitor.check()
+
+        run(sim, scenario())
+        return session, monitor, recorder
+
+    def test_fleet_rules_auto_append_and_grade(self):
+        session, monitor, _recorder = self.drive_monitored()
+        assert session.fleet is not None
+        rules = {rule.name for rule in monitor.rules}
+        assert "client_staleness_p95" in rules
+        assert "telemetry_overhead_ratio" in rules
+        verdicts = {
+            (v.rule, v.subject): v for v in monitor.last_report.verdicts
+        }
+        # Every reporting member got a client-measured staleness verdict.
+        member_subjects = [
+            subject for rule, subject in verdicts if rule == "client_staleness_p95"
+        ]
+        assert sorted(member_subjects) == ["p0", "p1", "p2"]
+        assert ("telemetry_overhead_ratio", "session") in verdicts
+
+    def test_breach_lands_fleet_snapshot_in_the_black_box(self):
+        session, monitor, recorder = self.drive_monitored()
+        # Force a breach on the client-measured rule: thresholds below
+        # any observed staleness.
+        monitor.rules = fleet_rules(
+            staleness_warn_ms=0.0, staleness_breach_ms=0.0
+        )
+        report = monitor.check()
+        assert report.level == BREACH
+        assert recorder.dumps
+        box = recorder.last_dump
+        assert "fleet" in box
+        assert box["fleet"]["members_reporting"] == 3
+        assert box["fleet"]["fleet"]["counters"]["polls"] > 0
+
+    def test_telemetry_free_session_gets_no_fleet_rules(self):
+        sim, session, _browsers = build_world(participants=1)
+        monitor = HealthMonitor(session)
+        assert session.fleet is None
+        assert not any(
+            rule.name == "client_staleness_p95" for rule in monitor.rules
+        )
+
+
+class TestStragglerDetection:
+    def view_with(self, p95s):
+        view = FleetView()
+        for member_id, staleness in p95s.items():
+            delta = MemberDelta(member_id)
+            delta.bump("content_updates")
+            delta.staleness.record(staleness)
+            blob = {"v": 1, "members": [delta.to_dict()]}
+            view.ingest(blob)
+        return view
+
+    def test_lagging_outlier_is_flagged(self):
+        view = self.view_with(
+            {"a": 100, "b": 110, "c": 105, "d": 95, "e": 102, "slow": 8000}
+        )
+        flagged = view.stragglers()
+        assert [row["member"] for row in flagged] == ["slow"]
+        assert flagged[0]["score"] >= view.straggler_threshold
+
+    def test_fresh_outlier_is_not_a_straggler(self):
+        view = self.view_with(
+            {"a": 1000, "b": 1010, "c": 1005, "d": 995, "fast": 1}
+        )
+        assert view.stragglers() == []
+
+    def test_uniform_fleet_has_no_stragglers(self):
+        view = self.view_with({"m%d" % i: 100 for i in range(6)})
+        assert view.stragglers() == []
+
+    def test_small_populations_are_never_judged(self):
+        view = self.view_with({"a": 1, "b": 1, "slow": 99999})
+        assert view.stragglers() == []
+
+    def test_mad_degeneracy_falls_back_to_mean_deviation(self):
+        # Most members identical: MAD is 0, but the mean absolute
+        # deviation still separates the outlier.
+        view = self.view_with(
+            {"a": 100, "b": 100, "c": 100, "d": 100, "slow": 9000}
+        )
+        flagged = view.stragglers()
+        assert [row["member"] for row in flagged] == ["slow"]
+
+    def test_straggler_marked_in_rendering(self):
+        view = self.view_with(
+            {"a": 100, "b": 110, "c": 105, "d": 95, "slow": 8000}
+        )
+        text = render_fleet_view(view)
+        assert "<- straggler" in text
+        assert "stragglers: slow" in text
+
+
+class TestFleetViewExport:
+    def test_to_dict_shape(self):
+        view = FleetView(byte_cap=512, tier_of=lambda member: 1)
+        delta = MemberDelta("m1")
+        delta.bump("polls", 3)
+        delta.bump("bytes_seen", 900)
+        delta.staleness.record(120)
+        view.ingest({"v": 1, "members": [delta.to_dict()]}, t=4.5)
+        doc = view.to_dict()
+        assert doc["byte_cap"] == 512
+        assert doc["members_reporting"] == 1
+        assert doc["members"]["m1"]["tier"] == 1
+        assert doc["members"]["m1"]["counters"]["polls"] == 3
+        assert doc["tiers"]["1"]["counters"]["polls"] == 3
+        assert doc["fleet"]["counters"]["bytes_seen"] == 900
+        assert doc["telemetry_overhead_ratio"] == pytest.approx(
+            view.telemetry_wire_bytes / 900
+        )
+        assert view.last_ingest_t == 4.5
+
+    def test_folded_records_reported_not_silent(self):
+        view = FleetView()
+        folded = MemberDelta("*", weight=7)
+        folded.bump("polls", 70)
+        view.ingest({"v": 1, "members": [folded.to_dict()]})
+        assert view.folded_records == 7
+        assert view.member_count == 0
+        assert view.totals().counters["polls"] == 70
+        assert view.to_dict()["folded_records"] == 7
+        assert "(7 records folded)" in render_fleet_view(view)
+
+    def test_malformed_blob_cannot_crash_the_host(self):
+        view = FleetView()
+        view.ingest("garbage")
+        view.ingest({"v": 0})
+        assert view.ingest_errors == 2
+        assert view.digests_ingested == 0
+
+
+class TestEvictionGauges:
+    def test_evictions_surface_as_gauges(self):
+        registry = MetricsRegistry()
+        bus = EventBus(ring_size=2)
+        bus.attach_registry(registry)
+        for tick in range(5):
+            bus.emit("poll.served", float(tick), node="relay-1")
+        bus.emit("poll.served", 9.0, node="quiet")
+        assert bus.evicted("relay-1") == 3
+        assert bus.evicted("quiet") == 0
+        assert bus.evicted() == 3
+        assert registry.gauge("events_evicted", node="relay-1").value == 3
+
+    def test_attach_after_evictions_publishes_history(self):
+        bus = EventBus(ring_size=1)
+        for tick in range(4):
+            bus.emit("poll.served", float(tick), node="n1")
+        registry = MetricsRegistry()
+        bus.attach_registry(registry)
+        assert registry.gauge("events_evicted", node="n1").value == 3
+
+    def test_attach_is_idempotent(self):
+        registry = MetricsRegistry()
+        bus = EventBus(ring_size=1)
+        bus.attach_registry(registry)
+        bus.attach_registry(registry)  # second call is a no-op
+        bus.emit("poll.served", 0.0, node="n1")
+        bus.emit("poll.served", 1.0, node="n1")
+        assert registry.gauge("events_evicted", node="n1").value == 1
+
+    def test_session_attaches_its_bus(self):
+        events = EventBus(ring_size=4)
+        _sim, session, _browsers = build_world(participants=1, events=events)
+        assert events._registry is session.metrics

@@ -8,6 +8,7 @@ and rendering, and the StatsFacade dict view that keeps the historical
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.obs import (
     Counter,
@@ -281,6 +282,90 @@ class TestHistogramEdgeCases:
         assert again is aggregate
         assert again.count == 2
         assert registry.find("sync_tier", tier="1") is aggregate
+
+
+class TestHistogramMergeProperties:
+    """Merge edge cases the tier/fleet rollups depend on."""
+
+    def test_mismatched_label_sets_merge_samples_not_labels(self):
+        # Rollups fold per-node histograms into aggregates carrying
+        # entirely different labels; merge must combine distributions
+        # while leaving the target's identity (name, labels) alone.
+        registry = MetricsRegistry()
+        node = registry.histogram("sync", node="r1", segment="lan")
+        node.observe(1.0)
+        aggregate = registry.histogram("sync_tier", tier="2")
+        aggregate.observe(5.0)
+        aggregate.merge(node)
+        assert aggregate.labels == (("tier", "2"),)
+        assert aggregate.count == 2
+        assert sorted(aggregate.values) == [1.0, 5.0]
+        # The source is untouched — merge is strictly one-way.
+        assert node.labels == (("node", "r1"), ("segment", "lan"))
+        assert node.values == [1.0]
+
+    def test_empty_into_nonempty_preserves_extremes(self):
+        a = Histogram("lat", ())
+        a.observe(2.0)
+        a.observe(9.0)
+        a.merge(Histogram("lat", ()))
+        assert (a.count, a.min, a.max) == (2, 2.0, 9.0)
+        assert a.sum == pytest.approx(11.0)
+
+    def test_merge_across_the_window_boundary(self):
+        # Folding more samples than the window holds: all-time totals
+        # keep everything, the retained window keeps only the newest —
+        # and the incoming samples land *after* the existing ones.
+        a = Histogram("lat", (), window=4)
+        b = Histogram("lat", (), window=4)
+        for value in (1.0, 2.0, 3.0):
+            a.observe(value)
+        for value in (10.0, 20.0, 30.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 6
+        assert a.sum == pytest.approx(66.0)
+        assert len(a.values) == 4
+        assert a.values == [3.0, 10.0, 20.0, 30.0]
+        assert (a.min, a.max) == (1.0, 30.0)  # extremes survive eviction
+
+    def test_exact_window_fill_keeps_every_sample(self):
+        a = Histogram("lat", (), window=4)
+        b = Histogram("lat", (), window=4)
+        a.observe(1.0)
+        a.observe(2.0)
+        b.observe(3.0)
+        b.observe(4.0)
+        a.merge(b)
+        assert a.values == [1.0, 2.0, 3.0, 4.0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=24),
+        right=st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=24),
+    )
+    def test_merge_is_commutative_up_to_window_order(self, left, right):
+        # merge(a, b) and merge(b, a) must agree on every aggregate the
+        # reports read — totals, extremes, and the retained sample
+        # multiset (order may differ; both fit inside the window here).
+        ab = Histogram("lat", ())
+        ba = Histogram("lat", ())
+        other_ab = Histogram("lat", ())
+        other_ba = Histogram("lat", ())
+        for value in left:
+            ab.observe(value)
+            other_ba.observe(value)
+        for value in right:
+            other_ab.observe(value)
+            ba.observe(value)
+        ab.merge(other_ab)
+        ba.merge(other_ba)
+        assert ab.count == ba.count
+        assert ab.sum == pytest.approx(ba.sum)
+        assert ab.min == ba.min
+        assert ab.max == ba.max
+        assert sorted(ab.values) == sorted(ba.values)
+        assert ab.p95 == ba.p95  # nearest-rank is order-independent
 
 
 class TestStatsFacadeMapping:
