@@ -42,6 +42,12 @@ Commands
     per-member / per-tier / fleet-wide rollups, detected stragglers,
     and the telemetry wire overhead.  ``--json PATH`` also writes the
     machine-readable fleet snapshot.
+``shards``
+    Run a sharded-serving session — an :class:`~repro.core.AgentPool`
+    of consistent-hash-placed serving instances behind the session
+    directory — and print the per-shard table (members, polls,
+    doc_time, state).  ``--fail-shard`` injects a shard host death a
+    few seconds in, exercising the standby promotion path.
 """
 
 from __future__ import annotations
@@ -185,6 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the fleet view snapshot as JSON to PATH",
     )
+
+    shards = subparsers.add_parser(
+        "shards", help="run a sharded-serving session and print the shard table"
+    )
+    shards.add_argument(
+        "--participants", type=int, default=24, help="session members (default: 24)"
+    )
+    shards.add_argument(
+        "--shards", type=int, default=4, help="serving instances (default: 4)"
+    )
+    shards.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="edited sim-seconds after the first sync (default: 10)",
+    )
+    shards.add_argument(
+        "--fail-shard",
+        action="store_true",
+        help="inject a shard host death a few seconds into the run",
+    )
     return parser
 
 
@@ -231,6 +258,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _logs(args)
     if args.command == "fleet":
         return _fleet(args)
+    if args.command == "shards":
+        return _shards(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -554,6 +583,14 @@ def _health(args) -> int:
     from .metrics import render_health_summary
 
     session, monitor, recorder = _run_monitored_session(args)
+    if not session.member_times():
+        print(
+            "repro health: the session produced no members "
+            "(nothing to grade — try --participants >= 1)",
+            file=sys.stderr,
+        )
+        session.close()
+        return 1
     report = monitor.last_report
     if args.format == "json":
         document = report.to_dict()
@@ -657,6 +694,14 @@ def _fleet(args) -> int:
     session, _monitor, _recorder = _run_monitored_session(
         args, telemetry=FleetView(byte_cap=args.byte_cap)
     )
+    if not session.member_times():
+        print(
+            "repro fleet: the session produced no members "
+            "(no digests to aggregate — try --participants >= 1)",
+            file=sys.stderr,
+        )
+        session.close()
+        return 1
     view = session.fleet
     print(
         render_fleet_view(
@@ -668,6 +713,55 @@ def _fleet(args) -> int:
             _json.dump(view.to_dict(), handle, indent=1, sort_keys=True)
             handle.write("\n")
         print("wrote fleet view to %s" % args.json)
+    session.close()
+    return 0
+
+
+def _shards(args) -> int:
+    from .core import AgentPool, CoBrowsingSession, render_shard_table
+    from .obs import SHARD_MIGRATE, SHARD_PROMOTE, EventBus
+
+    sim, host, guests = _build_traced_world(args.participants)
+    events = EventBus(max_total_events=4096)
+    session = CoBrowsingSession(host, events=events)
+    pool = AgentPool(session, shards=args.shards)
+
+    def scenario():
+        yield from pool.start()
+        for guest in guests:
+            yield from pool.join_browser(guest)
+        yield from session.host_navigate("http://traced.example.com/")
+        yield from session.wait_until_synced()
+        fail_at = 3 if args.fail_shard else None
+        for tick in range(max(1, int(args.duration))):
+            if fail_at is not None and tick == fail_at and pool.relays:
+                victim = sorted(pool.relays)[0]
+                print("injecting shard host death: %s" % victim)
+                pool.fail_shard(victim)
+            host.mutate_document(
+                lambda doc, tick=tick: setattr(
+                    doc.get_elements_by_tag_name("p")[0],
+                    "inner_html",
+                    "sharded state %d" % tick,
+                )
+            )
+            yield sim.timeout(1.0)
+        yield from session.wait_until_synced()
+
+    sim.run_until_complete(sim.process(scenario()))
+    if not session.member_times():
+        print(
+            "repro shards: the session produced no members "
+            "(nothing was served — try --participants >= 1)",
+            file=sys.stderr,
+        )
+        session.close()
+        return 1
+    print(render_shard_table(pool, title="Shard pool at t=%.3fs" % sim.now))
+    print(
+        "events: %d shard.promote, %d shard.migrate"
+        % (events.total(SHARD_PROMOTE), events.total(SHARD_MIGRATE))
+    )
     session.close()
     return 0
 

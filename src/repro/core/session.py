@@ -27,6 +27,7 @@ Two distribution modes:
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Union
 
 from ..browser.browser import Browser
@@ -160,9 +161,14 @@ class CoBrowsingSession:
         #: original constant-delay retry.
         self.backoff = backoff
 
+        #: The :class:`~repro.core.shard.AgentPool` serving this session
+        #: (the pool registers itself; None outside sharded serving).
+        self.pool = None
+
         self.branching: Optional[int] = None
         self._relay_port = AGENT_DEFAULT_PORT
         self._reattach_backoff: Optional[BackoffPolicy] = None
+        self._tree_rng: Optional[random.Random] = None
         self._nodes: Dict[str, _TreeNode] = {}
         self._join_order = 0
 
@@ -173,6 +179,7 @@ class CoBrowsingSession:
         branching: int = 4,
         relay_port: int = AGENT_DEFAULT_PORT,
         backoff: Optional[BackoffPolicy] = None,
+        seed: Optional[int] = None,
     ) -> None:
         """Switch joins to cascaded-relay mode.
 
@@ -182,13 +189,17 @@ class CoBrowsingSession:
         slot, so no node — the host included — ever serves more than
         ``branching`` direct children.  ``backoff`` paces orphan
         re-attachment after a relay death (default: exponential from
-        0.5 s to 8 s with ±25% jitter).
+        0.5 s to 8 s with ±25% jitter).  ``seed`` makes attach-point
+        tie-breaking draw from a fixed RNG stream instead of join
+        order, so scale benchmarks get reproducible-but-unbiased tree
+        shapes; None keeps the earliest-joined rule.
         """
         if branching < 1:
             raise SessionError("branching must be at least 1")
         if self.branching is not None:
             raise SessionError("fanout_tree() was already enabled")
         self.branching = branching
+        self._tree_rng = random.Random(seed) if seed is not None else None
         self._relay_port = relay_port
         self._reattach_backoff = backoff or BackoffPolicy(
             base=0.5, cap=8.0, jitter=0.25, multiplier=2.0
@@ -319,6 +330,10 @@ class CoBrowsingSession:
         candidates = [
             node for node in self._nodes.values() if len(node.children) < self.branching
         ]
+        if self._tree_rng is not None:
+            best = min((n.depth, len(n.children)) for n in candidates)
+            tied = [n for n in candidates if (n.depth, len(n.children)) == best]
+            return self._tree_rng.choice(sorted(tied, key=lambda n: n.order))
         return min(candidates, key=lambda n: (n.depth, len(n.children), n.order))
 
     def _fallbacks_for(self, node: _TreeNode) -> List[str]:
@@ -425,6 +440,9 @@ class CoBrowsingSession:
 
     def close(self) -> None:
         """Disconnect every participant and uninstall the agent."""
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
         for snippet in list(self.participants.values()):
             self.leave(snippet)
         for relay in list(self.relays.values()):

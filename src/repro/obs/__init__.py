@@ -42,6 +42,8 @@ from .events import (
     RELAY_DEATH,
     RELAY_REATTACH,
     RESYNC_FORCED,
+    SHARD_MIGRATE,
+    SHARD_PROMOTE,
     SLO_BREACH,
     SLO_RECOVER,
     TRANSPORT_SWITCH,
@@ -72,6 +74,7 @@ from .health import (
     default_rules,
     fleet_rules,
     perf_budget_rules,
+    shard_rules,
     transport_rules,
 )
 from .profile import (
@@ -132,6 +135,8 @@ __all__ = [
     "RELAY_REATTACH",
     "RESYNC_FORCED",
     "ResponseAttribution",
+    "SHARD_MIGRATE",
+    "SHARD_PROMOTE",
     "SLO_BREACH",
     "SLO_RECOVER",
     "SloRule",
@@ -158,6 +163,7 @@ __all__ = [
     "render_attribution_table",
     "render_fleet_view",
     "render_profile_summary",
+    "shard_rules",
     "spans_to_jsonl",
     "speedscope_profile",
     "transport_rules",

@@ -50,6 +50,8 @@ __all__ = [
     "RELAY_DEATH",
     "RELAY_REATTACH",
     "RESYNC_FORCED",
+    "SHARD_MIGRATE",
+    "SHARD_PROMOTE",
     "SLO_BREACH",
     "SLO_RECOVER",
     "TRANSPORT_SWITCH",
@@ -81,6 +83,12 @@ SLO_RECOVER = "slo.recover"
 #: A member's granted transport mode changed (adaptive controller or
 #: an explicit per-member override).
 TRANSPORT_SWITCH = "transport.switch"
+#: A shard host died and its standby was promoted to acting host for
+#: the dead shard's whole key range (node = the promoted instance).
+SHARD_PROMOTE = "shard.promote"
+#: The session directory moved a member to another serving instance
+#: (rebalance or failover; node = the member).
+SHARD_MIGRATE = "shard.migrate"
 
 #: The closed vocabulary above (documentation + test assertions; the
 #: bus itself accepts any string so extensions stay cheap).
@@ -98,6 +106,8 @@ KNOWN_EVENT_TYPES = frozenset(
         SLO_BREACH,
         SLO_RECOVER,
         TRANSPORT_SWITCH,
+        SHARD_PROMOTE,
+        SHARD_MIGRATE,
     }
 )
 
@@ -160,12 +170,25 @@ class EventBus:
     host agent, every relay, and every snippet).  Retention is bounded
     *per node*: each component keeps its own ``ring_size`` most recent
     events, so no tier's chatter can evict another tier's evidence.
+
+    ``max_total_events`` additionally bounds retention *globally*: each
+    ring's capacity becomes the largest power of two not exceeding
+    ``budget / nodes`` (capped by ``ring_size``, floored at 1), so
+    total retained events stay within the budget however many
+    components emit — the knob that keeps a 10k-member fleet's bus from
+    ballooning RSS.  Capacities only shrink as components appear, in
+    power-of-two steps, so existing rings are resized O(log budget)
+    times over a bus's whole life, not per node.
     """
 
-    def __init__(self, ring_size: int = 1024):
+    def __init__(self, ring_size: int = 1024, max_total_events: Optional[int] = None):
         if ring_size < 1:
             raise ValueError("ring_size must be at least 1")
+        if max_total_events is not None and max_total_events < 1:
+            raise ValueError("max_total_events must be at least 1")
         self.ring_size = ring_size
+        self.max_total_events = max_total_events
+        self._allowance = self._ring_allowance(1)
         self._rings: Dict[str, Deque[Event]] = {}
         self._seq = 0
         self._subscribers: List[Callable[[Event], None]] = []
@@ -202,7 +225,11 @@ class EventBus:
         event = Event(self._seq, t, type, node, trace_id, span_id, data or None)
         ring = self._rings.get(node)
         if ring is None:
-            ring = self._rings[node] = deque(maxlen=self.ring_size)
+            allowance = self._ring_allowance(len(self._rings) + 1)
+            if allowance < self._allowance:
+                self._allowance = allowance
+                self._shrink_rings(allowance)
+            ring = self._rings[node] = deque(maxlen=self._allowance)
         if len(ring) == ring.maxlen:
             # The append below pushes the oldest event off the tail:
             # count the loss so post-mortems know the ring was lossy.
@@ -215,6 +242,33 @@ class EventBus:
         for subscriber in list(self._subscribers):
             subscriber(event)
         return event
+
+    def _ring_allowance(self, node_count: int) -> int:
+        """Per-node ring capacity for ``node_count`` components: the
+        power-of-two floor of the budget's even share (so the total
+        stays under budget whenever nodes <= budget), capped by
+        ``ring_size`` and floored at one event per component."""
+        if self.max_total_events is None:
+            return self.ring_size
+        share = self.max_total_events // max(1, node_count)
+        allowance = 1
+        while allowance * 2 <= share:
+            allowance *= 2
+        return min(self.ring_size, allowance)
+
+    def _shrink_rings(self, allowance: int) -> None:
+        """Resize every existing ring down to ``allowance``, counting
+        the events dropped off each tail as evictions."""
+        for node, ring in self._rings.items():
+            if ring.maxlen is not None and ring.maxlen <= allowance:
+                continue
+            dropped = len(ring) - allowance
+            if dropped > 0:
+                evicted = self._evicted.get(node, 0) + dropped
+                self._evicted[node] = evicted
+                if self._registry is not None:
+                    self._registry.gauge("events_evicted", node=node).set(evicted)
+            self._rings[node] = deque(ring, maxlen=allowance)
 
     def attach_registry(self, registry) -> None:
         """Publish per-component eviction counts as ``events_evicted``

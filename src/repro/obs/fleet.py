@@ -49,6 +49,7 @@ class FleetView:
         byte_cap: int = 2048,
         flush_interval: float = 2.0,
         tier_of: Optional[Callable[[str], Optional[int]]] = None,
+        shard_of: Optional[Callable[[str], Optional[str]]] = None,
         straggler_threshold: float = 3.5,
         straggler_min_members: int = 4,
     ):
@@ -61,6 +62,10 @@ class FleetView:
         #: ``member_id -> tier`` resolver (the session wires its
         #: ``member_tier``); None leaves every member untiered.
         self.tier_of = tier_of
+        #: ``member_id -> shard id`` resolver (an
+        #: :class:`~repro.core.shard.AgentPool` wires its ``shard_of``);
+        #: None leaves every member unsharded.
+        self.shard_of = shard_of
         #: Modified-z threshold for flagging a straggler (3.5 is the
         #: standard Iglewicz–Hoaglin cut).
         self.straggler_threshold = straggler_threshold
@@ -181,6 +186,26 @@ class FleetView:
             aggregate.merge_from(self._folded)
         return tiers
 
+    def per_shard(self) -> Dict[Optional[str], MemberDelta]:
+        """Member deltas aggregated by serving instance (None: members
+        the resolver does not know, and folded records — their member
+        identity, and hence shard, folded away upstream)."""
+        shards: Dict[Optional[str], MemberDelta] = {}
+        for member_id, delta in self._members.items():
+            shard = self.shard_of(member_id) if self.shard_of is not None else None
+            aggregate = shards.get(shard)
+            if aggregate is None:
+                aggregate = shards[shard] = MemberDelta(
+                    "shard:%s" % ("?" if shard is None else shard), weight=0
+                )
+            aggregate.merge_from(delta)
+        if self._folded is not None:
+            aggregate = shards.get(None)
+            if aggregate is None:
+                aggregate = shards[None] = MemberDelta("shard:?", weight=0)
+            aggregate.merge_from(self._folded)
+        return shards
+
     def telemetry_overhead_ratio(self) -> float:
         """Digest wire bytes over client-reported content bytes seen —
         the plane's own cost, self-measured on the same channel."""
@@ -254,6 +279,15 @@ class FleetView:
                 self.per_tier().items(), key=lambda item: (item[0] is None, item[0] or 0)
             )
         }
+        shards = {}
+        if self.shard_of is not None:
+            shards = {
+                "?" if shard is None else shard: self._delta_row(delta)
+                for shard, delta in sorted(
+                    self.per_shard().items(),
+                    key=lambda item: (item[0] is None, item[0] or ""),
+                )
+            }
         return {
             "byte_cap": self.byte_cap,
             "digests_ingested": self.digests_ingested,
@@ -265,6 +299,7 @@ class FleetView:
             "folded_records": self.folded_records,
             "fleet": self._delta_row(fleet),
             "tiers": tiers,
+            "shards": shards,
             "members": members,
             "stragglers": self.stragglers(),
         }

@@ -37,7 +37,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from .events import RESYNC_FORCED, SLO_BREACH, SLO_RECOVER, TRANSPORT_SWITCH, EventBus
+from .events import (
+    RESYNC_FORCED,
+    SHARD_PROMOTE,
+    SLO_BREACH,
+    SLO_RECOVER,
+    TRANSPORT_SWITCH,
+    EventBus,
+)
 from .registry import percentile
 
 __all__ = [
@@ -51,6 +58,7 @@ __all__ = [
     "default_rules",
     "fleet_rules",
     "perf_budget_rules",
+    "shard_rules",
     "transport_rules",
 ]
 
@@ -435,6 +443,63 @@ def fleet_rules(
     ]
 
 
+def _shard_skew_values(monitor: "HealthMonitor") -> Dict[str, float]:
+    if monitor.pool is None:
+        return {}
+    load = monitor.pool.directory.load()
+    members = sum(load.values())
+    if not load or not members:
+        return {}
+    ideal = members / len(load)
+    return {
+        "shard:%s" % shard_id: count / ideal for shard_id, count in load.items()
+    }
+
+
+def _shard_promote_values(monitor: "HealthMonitor") -> Dict[str, float]:
+    if monitor.pool is None or monitor.events is None:
+        return {}
+    count = monitor.events.count(
+        type=SHARD_PROMOTE, since=monitor.now - monitor.window
+    )
+    minutes = max(monitor.window, 1e-9) / 60.0
+    return {SESSION_SUBJECT: count / minutes}
+
+
+def shard_rules(
+    skew_warn_ratio: float = 1.5,
+    skew_breach_ratio: float = 2.5,
+    promote_warn_per_min: float = 2.0,
+    promote_breach_per_min: float = 6.0,
+) -> List[SloRule]:
+    """Add-on rules for sessions serving through an
+    :class:`~repro.core.shard.AgentPool`.  ``shard_load_skew`` grades
+    each instance's assigned members against the even share (the
+    bounded-load placement should hold it near 1); a promotion storm —
+    repeated host-death failovers inside one window — is itself an SLO
+    violation.  Both statistics yield no subjects when the monitor has
+    no pool, so appending these to a pool-free session changes
+    nothing."""
+    return [
+        SloRule(
+            "shard_load_skew",
+            _shard_skew_values,
+            warn=skew_warn_ratio,
+            breach=skew_breach_ratio,
+            unit="x",
+            description="per-shard members over the even share",
+        ),
+        SloRule(
+            "shard_promote_rate",
+            _shard_promote_values,
+            warn=promote_warn_per_min,
+            breach=promote_breach_per_min,
+            unit="/min",
+            description="host-death failover promotions per minute",
+        ),
+    ]
+
+
 class HealthMonitor:
     """Samples a session's health signals and evaluates the SLO rules.
 
@@ -457,6 +522,7 @@ class HealthMonitor:
         profiler=None,
         attribution=None,
         fleet=None,
+        pool=None,
     ):
         self.session = session
         self.events = events if events is not None else session.events
@@ -470,12 +536,18 @@ class HealthMonitor:
         )
         #: Fleet telemetry view for the client-measured rules.
         self.fleet = fleet if fleet is not None else getattr(session, "fleet", None)
+        #: Agent pool feed for the shard rules (an
+        #: :class:`~repro.core.shard.AgentPool` registers itself on the
+        #: session as ``session.pool``).
+        self.pool = pool if pool is not None else getattr(session, "pool", None)
         if rules is None:
             rules = default_rules()
             if self.profiler is not None or self.attribution is not None:
                 rules = rules + perf_budget_rules()
             if self.fleet is not None:
                 rules = rules + fleet_rules()
+            if self.pool is not None:
+                rules = rules + shard_rules()
         self.rules = rules
         self.window = window
         self.recorder = recorder

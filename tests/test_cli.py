@@ -391,3 +391,69 @@ class TestFleetCommand:
         out = capsys.readouterr().out
         assert "injecting relay death" in out
         assert "members reporting" in out
+
+
+class TestZeroMemberRuns:
+    def test_health_with_zero_participants_exits_nonzero(self, capsys):
+        assert main(["health", "--participants", "0", "--duration", "3"]) == 1
+        captured = capsys.readouterr()
+        assert "produced no members" in captured.err
+        assert "repro health:" in captured.err
+
+    def test_fleet_with_zero_participants_exits_nonzero(self, capsys):
+        assert main(["fleet", "--participants", "0", "--duration", "3"]) == 1
+        captured = capsys.readouterr()
+        assert "produced no members" in captured.err
+        assert "repro fleet:" in captured.err
+
+
+class TestShardsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["shards"])
+        assert args.command == "shards"
+        assert args.participants == 24
+        assert args.shards == 4
+        assert args.duration == 10.0
+        assert args.fail_shard is False
+
+    def test_shards_prints_pool_table(self, capsys):
+        assert main(["shards", "--participants", "8", "--duration", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Shard pool at t=" in out
+        assert "4 shards, 8 members" in out
+        assert "shard-0" in out
+        assert "events: 0 shard.promote, 0 shard.migrate" in out
+
+    def test_shards_single_shard_serves_from_root(self, capsys):
+        assert (
+            main(["shards", "--participants", "4", "--shards", "1", "--duration", "4"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 shards, 4 members" in out
+        assert "root" in out
+
+    def test_shards_fail_shard_promotes_and_recovers(self, capsys):
+        assert (
+            main(
+                [
+                    "shards",
+                    "--participants",
+                    "8",
+                    "--duration",
+                    "10",
+                    "--fail-shard",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "injecting shard host death" in out
+        assert "3 shards, 8 members" in out
+        assert "1 shard.promote" in out
+
+    def test_shards_with_zero_participants_exits_nonzero(self, capsys):
+        assert main(["shards", "--participants", "0", "--duration", "3"]) == 1
+        captured = capsys.readouterr()
+        assert "repro shards:" in captured.err
+        assert "produced no members" in captured.err

@@ -1,0 +1,460 @@
+"""Sharded serving: the session directory, the agent pool, failover.
+
+Covers the placement contract (sticky, bounded-load, minimal movement
+on membership change), directory-routed joins across real shard hosts,
+host-death failover promoting the designated standby with every member
+recovered and ``doc_time`` ordering preserved, the ``shards=1``
+wire-byte-identity guarantee, and the shard observability surface
+(events, health rules, fleet rollups, the CLI table renderer).
+"""
+
+import json
+from math import ceil
+
+import pytest
+
+from repro.browser import Browser
+from repro.core import (
+    AgentPool,
+    CoBrowsingSession,
+    ROOT_SHARD,
+    SessionDirectory,
+    SessionError,
+    render_shard_table,
+)
+from repro.html import Text
+from repro.http import HttpRequest
+from repro.net import LAN_PROFILE, Host, Network
+from repro.obs import (
+    SHARD_MIGRATE,
+    SHARD_PROMOTE,
+    EventBus,
+    FleetView,
+    HealthMonitor,
+    shard_rules,
+)
+from repro.sim import Simulator
+from repro.webserver import OriginServer, StaticSite
+
+PAGE = (
+    "<html><head><title>Shards</title></head><body>"
+    "<p id='p0'>seed paragraph</p></body></html>"
+)
+
+
+def build_world(shards=None, poll_interval=0.5, events=None, telemetry=None):
+    sim = Simulator()
+    network = Network(sim)
+    site = StaticSite("site.com")
+    site.add_page("/", PAGE)
+    OriginServer(network, "site.com", site.handle)
+    host = Browser(Host(network, "host-pc", LAN_PROFILE, segment="lan"), name="host")
+    session = CoBrowsingSession(
+        host, poll_interval=poll_interval, events=events, telemetry=telemetry
+    )
+    pool = AgentPool(session, shards=shards) if shards is not None else None
+    return sim, network, host, session, pool
+
+
+def make_guests(network, count, prefix="g"):
+    return [
+        Browser(
+            Host(network, "%s-pc-%d" % (prefix, i), LAN_PROFILE, segment="lan"),
+            name="%s%02d" % (prefix, i),
+        )
+        for i in range(count)
+    ]
+
+
+def edit(host, text):
+    def mutate(document):
+        target = document.get_element_by_id("p0")
+        target.remove_all_children()
+        target.append_child(Text(text))
+
+    host.mutate_document(mutate)
+
+
+class TestSessionDirectory:
+    def test_placement_is_sticky_and_deterministic(self):
+        a = SessionDirectory(seed=7)
+        b = SessionDirectory(seed=7)
+        for directory in (a, b):
+            directory.add_instance("x")
+            directory.add_instance("y")
+            directory.add_instance("z")
+        keys = ["m%d" % i for i in range(50)]
+        first = {key: a.place(key) for key in keys}
+        assert {key: a.place(key) for key in keys} == first  # sticky
+        assert {key: b.place(key) for key in keys} == first  # seeded layout
+
+    def test_different_seeds_produce_different_layouts(self):
+        layouts = []
+        for seed in (0, 1):
+            directory = SessionDirectory(seed=seed)
+            directory.add_instance("x")
+            directory.add_instance("y")
+            layouts.append(
+                {key: directory.place(key) for key in ("m%d" % i for i in range(40))}
+            )
+        assert layouts[0] != layouts[1]
+
+    def test_bounded_load_cap_holds(self):
+        directory = SessionDirectory(replicas=8, load_factor=1.25, seed=3)
+        for instance in ("a", "b", "c", "d"):
+            directory.add_instance(instance)
+        for i in range(200):
+            directory.place("k%d" % i)
+        cap = directory.capacity()
+        assert all(count <= cap for count in directory.load().values())
+
+    def test_add_instance_moves_minimal_range(self):
+        directory = SessionDirectory(seed=1)
+        directory.add_instance("a")
+        directory.add_instance("b")
+        keys = ["k%d" % i for i in range(90)]
+        for key in keys:
+            directory.place(key)
+        before = dict(directory.assignments)
+        migrations = directory.add_instance("c")
+        assert len(migrations) <= ceil(len(keys) / 3)
+        for key, (old, new) in migrations.items():
+            assert old == before[key]
+            assert new == "c"
+        untouched = set(keys) - set(migrations)
+        assert all(directory.assignments[key] == before[key] for key in untouched)
+
+    def test_remove_instance_promotes_in_bulk(self):
+        directory = SessionDirectory(seed=2)
+        for instance in ("a", "b", "c"):
+            directory.add_instance(instance)
+        for i in range(60):
+            directory.place("k%d" % i)
+        dead_keys = {
+            key for key, owner in directory.assignments.items() if owner == "a"
+        }
+        migrations = directory.remove_instance("a", promote_to="b")
+        assert set(migrations) == dead_keys
+        assert all(new == "b" for _old, new in migrations.values())
+        assert "a" not in directory.load()
+        assert all(owner != "a" for owner in directory.assignments.values())
+
+    def test_remove_instance_drains_only_dead_keys(self):
+        directory = SessionDirectory(seed=2)
+        for instance in ("a", "b", "c"):
+            directory.add_instance(instance)
+        keys = ["k%d" % i for i in range(60)]
+        for key in keys:
+            directory.place(key)
+        before = dict(directory.assignments)
+        migrations = directory.remove_instance("c")
+        assert set(migrations) == {key for key in keys if before[key] == "c"}
+        survivors = set(keys) - set(migrations)
+        assert all(directory.assignments[key] == before[key] for key in survivors)
+        assert all(owner in ("a", "b") for owner in directory.assignments.values())
+
+    def test_successor_and_errors(self):
+        directory = SessionDirectory(seed=0)
+        directory.add_instance("a")
+        assert directory.successor("a") is None
+        directory.add_instance("b")
+        assert directory.successor("a") == "b"
+        assert directory.successor("b") == "a"
+        with pytest.raises(ValueError):
+            directory.add_instance("a")
+        with pytest.raises(KeyError):
+            directory.remove_instance("nope")
+        with pytest.raises(KeyError):
+            directory.remove_instance("a", promote_to="nope")
+
+    def test_release_frees_capacity(self):
+        directory = SessionDirectory(seed=0)
+        directory.add_instance("a")
+        owner = directory.place("k")
+        assert directory.load()[owner] == 1
+        directory.release("k")
+        assert directory.load()[owner] == 0
+        assert "k" not in directory.assignments
+
+    def test_place_with_no_instances_raises(self):
+        directory = SessionDirectory()
+        with pytest.raises(KeyError):
+            directory.place("k")
+
+
+class TestAgentPool:
+    def test_directory_routed_joins_spread_members(self):
+        events = EventBus()
+        sim, network, host, session, pool = build_world(shards=4, events=events)
+        guests = make_guests(network, 12)
+
+        def scenario():
+            yield from pool.start()
+            for guest in guests:
+                yield from pool.join_browser(guest)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced(timeout=60)
+
+        sim.run_until_complete(sim.process(scenario()))
+        load = pool.directory.load()
+        assert set(load) == {"shard-0", "shard-1", "shard-2", "shard-3"}
+        assert sum(load.values()) == 12
+        assert all(count >= 1 for count in load.values())
+        # Every member polls the shard the directory placed it on.
+        for member_id in pool.snippets:
+            assert pool.agent_for(member_id) is pool.relays[pool.shard_of(member_id)]
+        assert len(session.member_times()) == 12
+        session.close()
+
+    def test_add_shard_rebalances_minimally_and_stays_synced(self):
+        sim, network, host, session, pool = build_world(shards=2)
+        guests = make_guests(network, 10)
+
+        def scenario():
+            yield from pool.start()
+            for guest in guests:
+                yield from pool.join_browser(guest)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced(timeout=60)
+            before = dict(pool.directory.assignments)
+            yield from pool.add_shard()
+            moved = [
+                member
+                for member, shard in pool.directory.assignments.items()
+                if before[member] != shard
+            ]
+            assert moved, "a third shard should take over some members"
+            assert len(moved) <= ceil(10 / 3)
+            yield sim.timeout(3.0)
+            edit(host, "post-rebalance edit")
+            yield from session.wait_until_synced(timeout=60)
+            for member in moved:
+                assert pool.snippets[member].connected
+
+        sim.run_until_complete(sim.process(scenario()))
+        session.close()
+
+    def test_failover_promotes_standby_and_recovers_all_members(self):
+        events = EventBus()
+        sim, network, host, session, pool = build_world(shards=4, events=events)
+        guests = make_guests(network, 12)
+        monitor = HealthMonitor(session)
+
+        def scenario():
+            yield from pool.start()
+            for guest in guests:
+                yield from pool.join_browser(guest)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced(timeout=60)
+            edit(host, "before failure")
+            yield sim.timeout(2.0)
+            yield from session.wait_until_synced(timeout=60)
+
+            victim = max(pool.directory.load(), key=lambda s: pool.directory.load()[s])
+            standby = pool.directory.successor(victim)
+            dead_members = [
+                member
+                for member, shard in pool.directory.assignments.items()
+                if shard == victim
+            ]
+            assert dead_members
+            pre_times = dict(session.member_times())
+            pool.fail_shard(victim)
+
+            # Bulk promotion: every orphan landed on the standby.
+            for member in dead_members:
+                assert pool.shard_of(member) == standby
+            promotes = events.events(type=SHARD_PROMOTE)
+            assert len(promotes) == 1
+            assert promotes[0].node == standby
+            assert promotes[0].data["dead"] == victim
+            assert promotes[0].data["members"] == len(dead_members)
+            migrates = events.events(type=SHARD_MIGRATE)
+            assert {e.node for e in migrates} == set(dead_members)
+            assert all(e.data["reason"] == "failover" for e in migrates)
+
+            yield sim.timeout(3.0)
+            edit(host, "after failure")
+            yield from session.wait_until_synced(timeout=120)
+            post_times = session.member_times()
+            # 100% of the dead shard's members re-attached to the
+            # promoted instance with no lost doc_time ordering.
+            for member in dead_members:
+                assert pool.snippets[member].connected
+                assert post_times[member] >= pre_times[member]
+                assert post_times[member] == session.agent.doc_time
+
+        sim.run_until_complete(sim.process(scenario()))
+        assert pool.promotions == 1
+        assert session.metrics.counter("shard_promotions").value == 1
+        # The shard rule family grades the surviving instances.
+        monitor.sample()
+        report = monitor.check()
+        skew = [v for v in report.verdicts if v.rule == "shard_load_skew"]
+        assert len(skew) == 3
+        assert all(v.subject.startswith("shard:") for v in skew)
+        session.close()
+
+    def test_fail_shard_guards(self):
+        sim, network, host, session, pool = build_world(shards=2)
+
+        def scenario():
+            yield from pool.start()
+
+        sim.run_until_complete(sim.process(scenario()))
+        with pytest.raises(SessionError):
+            pool.fail_shard("nope")
+        pool.fail_shard("shard-0")
+        with pytest.raises(SessionError):
+            pool.fail_shard("shard-1")  # last shard has no standby
+        session.close()
+
+    def test_single_shard_pool_serves_from_root(self):
+        sim, network, host, session, pool = build_world(shards=1)
+        guests = make_guests(network, 3)
+
+        def scenario():
+            yield from pool.start()  # no-op
+            for guest in guests:
+                yield from pool.join_browser(guest)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced(timeout=60)
+
+        sim.run_until_complete(sim.process(scenario()))
+        assert pool.relays == {}
+        assert pool.directory.load() == {ROOT_SHARD: 3}
+        for member_id in pool.snippets:
+            assert pool.agent_for(member_id) is session.agent
+        with pytest.raises(SessionError):
+            sim.run_until_complete(sim.process(pool.add_shard()))
+        session.close()
+
+    def test_single_shard_wire_bytes_identical_to_plain_session(self):
+        """``shards=1`` must be byte-identical on the wire to today's
+        path: identical worlds, one joined via the pool and one via a
+        plain ``session.join``, serve identical poll-response bytes."""
+
+        def run(sharded):
+            sim, network, host, session, pool = build_world(
+                shards=1 if sharded else None
+            )
+            guest = make_guests(network, 1, prefix="w")[0]
+
+            def scenario():
+                if sharded:
+                    yield from pool.join_browser(guest, participant_id="wire")
+                else:
+                    yield from session.join(guest, participant_id="wire")
+                yield from session.host_navigate("http://site.com/")
+                yield from session.wait_until_synced(timeout=60)
+                edit(host, "wire identity edit")
+                yield sim.timeout(2.0)
+                yield from session.wait_until_synced(timeout=60)
+
+            sim.run_until_complete(sim.process(scenario()))
+            # Replay a fixed poll sequence against the serving agent and
+            # capture the exact response bytes.
+            bodies = []
+
+            def probe():
+                agent = (
+                    pool.agent_for("probe") if sharded else session.agent
+                )
+                assert agent is session.agent
+                for timestamp in (0, session.agent.doc_time):
+                    payload = json.dumps(
+                        {"participant": "probe", "timestamp": timestamp, "actions": []}
+                    ).encode()
+                    request = HttpRequest("POST", "/poll", None, payload)
+                    response = yield from agent._poll_response(request, "probe")
+                    bodies.append(response.body)
+
+            sim.run_until_complete(sim.process(probe()))
+            session.close()
+            return bodies
+
+        assert run(sharded=True) == run(sharded=False)
+
+    def test_leave_releases_placement(self):
+        sim, network, host, session, pool = build_world(shards=2)
+        guests = make_guests(network, 4)
+
+        def scenario():
+            yield from pool.start()
+            for guest in guests:
+                yield from pool.join_browser(guest)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced(timeout=60)
+
+        sim.run_until_complete(sim.process(scenario()))
+        member = sorted(pool.snippets)[0]
+        pool.leave(member)
+        assert member not in pool.snippets
+        assert member not in session.participants
+        assert member not in pool.directory.assignments
+        assert sum(pool.directory.load().values()) == 3
+        session.close()
+
+    def test_render_shard_table(self):
+        sim, network, host, session, pool = build_world(shards=2)
+        guests = make_guests(network, 4)
+
+        def scenario():
+            yield from pool.start()
+            for guest in guests:
+                yield from pool.join_browser(guest)
+            yield from session.host_navigate("http://site.com/")
+            yield from session.wait_until_synced(timeout=60)
+
+        sim.run_until_complete(sim.process(scenario()))
+        table = render_shard_table(pool)
+        assert "shard-0" in table and "shard-1" in table
+        assert "2 shards, 4 members" in table
+        assert "up" in table
+        session.close()
+
+    def test_pool_rejects_bad_arguments(self):
+        sim, network, host, session, _pool = build_world()
+        with pytest.raises(SessionError):
+            AgentPool(session, shards=0)
+        session.close()
+
+
+class TestShardObservability:
+    def test_fleet_per_shard_rollups(self):
+        view = FleetView(shard_of=lambda member: {"m1": "shard-0", "m2": "shard-1"}.get(member))
+        blob = {
+            "v": 1,
+            "members": [
+                {"id": "m1", "w": 1, "c": {"polls": 3}},
+                {"id": "m2", "w": 1, "c": {"polls": 5}},
+                {"id": "m3", "w": 1, "c": {"polls": 7}},
+            ],
+        }
+        view.ingest(blob, t=1.0)
+        shards = view.per_shard()
+        assert shards["shard-0"].counters["polls"] == 3
+        assert shards["shard-1"].counters["polls"] == 5
+        assert shards[None].counters["polls"] == 7
+        exported = view.to_dict()
+        assert exported["shards"]["shard-0"]["counters"]["polls"] == 3
+        assert exported["shards"]["?"]["counters"]["polls"] == 7
+
+    def test_fleet_export_omits_shards_without_resolver(self):
+        view = FleetView()
+        assert view.to_dict()["shards"] == {}
+
+    def test_shard_rules_empty_without_pool(self):
+        sim, network, host, session, _pool = build_world()
+        monitor = HealthMonitor(session, rules=shard_rules())
+        report = monitor.check()
+        assert report.verdicts == []
+        assert monitor.pool is None
+        session.close()
+
+    def test_pool_wires_fleet_shard_resolver(self):
+        sim, network, host, session, pool = build_world(
+            shards=1, telemetry=FleetView()
+        )
+        assert session.fleet.shard_of == pool.shard_of
+        session.close()

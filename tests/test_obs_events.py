@@ -20,6 +20,7 @@ from repro.obs import (
     POLL_SERVED,
     RESYNC_FORCED,
     EventBus,
+    MetricsRegistry,
     SpanContext,
     Tracer,
     events_to_jsonl,
@@ -124,6 +125,58 @@ class TestEventBus:
     def test_ring_size_must_be_positive(self):
         with pytest.raises(ValueError):
             EventBus(ring_size=0)
+
+    def test_budget_caps_total_retained_memory(self):
+        bus = EventBus(ring_size=1024, max_total_events=64)
+        for index in range(16):
+            for tick in range(100):
+                bus.emit(POLL_SERVED, float(tick), node="n%02d" % index)
+            # The invariant holds after every component joins, not just
+            # at the end: total retained never exceeds the budget.
+            assert len(bus) <= 64
+        # Each of the 16 rings got the power-of-two floor of 64/16.
+        assert all(ring.maxlen == 4 for ring in bus._rings.values())
+        # All-time totals are unaffected by the bounded retention.
+        assert bus.total(POLL_SERVED) == 1600
+
+    def test_budget_shrinks_rings_as_components_appear(self):
+        bus = EventBus(max_total_events=32)
+        for tick in range(40):
+            bus.emit(POLL_SERVED, float(tick), node="first")
+        # Alone, the first component gets the whole budget.
+        assert bus.count(node="first") == 32
+        for index in range(7):
+            bus.emit(MEMBER_JOIN, 0.0, node="late%d" % index)
+        # Eight components now share the budget: 32/8 = 4 each, and the
+        # first ring was shrunk (newest kept, drop counted as eviction).
+        assert bus.count(node="first") == 4
+        assert [e.t for e in bus.events(node="first")] == [36.0, 37.0, 38.0, 39.0]
+        assert bus.evicted("first") == 8 + 28  # ring overflow + shrink
+        assert len(bus) <= 32
+
+    def test_budget_eviction_counts_reach_the_registry(self):
+        registry = MetricsRegistry()
+        bus = EventBus(max_total_events=4)
+        bus.attach_registry(registry)
+        for tick in range(10):
+            bus.emit(POLL_SERVED, float(tick), node="agent")
+        bus.emit(MEMBER_JOIN, 0.0, node="other")  # shrinks agent's ring
+        assert registry.gauge("events_evicted", node="agent").value == bus.evicted(
+            "agent"
+        )
+
+    def test_budget_floors_at_one_event_per_component(self):
+        bus = EventBus(max_total_events=2)
+        for index in range(10):
+            bus.emit(POLL_SERVED, 0.0, node="n%d" % index)
+        # More components than budget: degrade to one event each rather
+        # than dropping components entirely.
+        assert all(ring.maxlen == 1 for ring in bus._rings.values())
+        assert bus.count() == 10
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventBus(max_total_events=0)
 
     def test_jsonl_export_round_trips(self):
         import json

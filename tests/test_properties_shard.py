@@ -1,0 +1,138 @@
+"""Property tests for the session directory's rebalancing invariants.
+
+Hypothesis drives random membership churn against ``SessionDirectory``
+and asserts the contract the agent pool depends on: no session ever
+maps to a dead instance, adding one instance moves a minimal key range
+(all of it to the newcomer), removing one instance moves only that
+instance's keys, and any churn sequence keeps per-instance load within
+the bounded-load cap.
+"""
+
+from math import ceil
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SessionDirectory
+
+KEYS = st.lists(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8),
+    min_size=1,
+    max_size=60,
+    unique=True,
+)
+INSTANCES = st.lists(
+    st.sampled_from(["s0", "s1", "s2", "s3", "s4", "s5"]),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+SEEDS = st.integers(min_value=0, max_value=2**16)
+
+
+def build(instances, keys, seed):
+    directory = SessionDirectory(replicas=16, seed=seed)
+    for instance in instances:
+        directory.add_instance(instance)
+    for key in keys:
+        directory.place(key)
+    return directory
+
+
+@given(instances=INSTANCES, keys=KEYS, seed=SEEDS)
+@settings(max_examples=60, deadline=None)
+def test_no_key_ever_maps_to_a_dead_instance(instances, keys, seed):
+    directory = build(instances, keys, seed)
+    live = set(instances)
+    for victim in list(instances):
+        if len(live) == 1:
+            break
+        live.discard(victim)
+        directory.remove_instance(victim)
+        assert set(directory.assignments.values()) <= live
+        assert set(directory.load()) == live
+
+
+@given(instances=INSTANCES, keys=KEYS, seed=SEEDS)
+@settings(max_examples=60, deadline=None)
+def test_adding_one_instance_moves_a_minimal_range(instances, keys, seed):
+    directory = build(instances, keys, seed)
+    before = dict(directory.assignments)
+    migrations = directory.add_instance("newcomer")
+    # Churn bound: at most ceil(K / N_new) keys move, and every one of
+    # them lands on the instance that just joined.
+    assert len(migrations) <= ceil(len(keys) / (len(instances) + 1))
+    for key, (old, new) in migrations.items():
+        assert old == before[key]
+        assert new == "newcomer"
+    for key in set(keys) - set(migrations):
+        assert directory.assignments[key] == before[key]
+
+
+@given(instances=INSTANCES, keys=KEYS, seed=SEEDS)
+@settings(max_examples=60, deadline=None)
+def test_removing_one_instance_moves_only_its_keys(instances, keys, seed):
+    if len(instances) < 2:
+        instances = instances + ["extra"]
+    directory = build(instances, keys, seed)
+    before = dict(directory.assignments)
+    victim = instances[0]
+    migrations = directory.remove_instance(victim)
+    assert set(migrations) == {k for k, owner in before.items() if owner == victim}
+    for key in set(keys) - set(migrations):
+        assert directory.assignments[key] == before[key]
+
+
+@given(instances=INSTANCES, keys=KEYS, seed=SEEDS)
+@settings(max_examples=60, deadline=None)
+def test_promotion_hands_every_orphan_to_the_standby(instances, keys, seed):
+    if len(instances) < 2:
+        instances = instances + ["extra"]
+    directory = build(instances, keys, seed)
+    victim = instances[0]
+    standby = directory.successor(victim)
+    orphans = {k for k, owner in directory.assignments.items() if owner == victim}
+    migrations = directory.remove_instance(victim, promote_to=standby)
+    assert set(migrations) == orphans
+    assert all(new == standby for _old, new in migrations.values())
+    assert all(directory.assignments[k] == standby for k in orphans)
+
+
+@given(keys=KEYS, seed=SEEDS, churn=st.lists(st.integers(0, 2), max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_churn_conserves_members_on_live_instances(keys, seed, churn):
+    directory = SessionDirectory(replicas=16, load_factor=1.25, seed=seed)
+    directory.add_instance("i0")
+    for key in keys:
+        directory.place(key)
+    next_id = 1
+    for op in churn:
+        live = directory.instances()
+        if op == 0 or len(live) == 1:
+            directory.add_instance("i%d" % next_id)
+            next_id += 1
+        elif op == 1:
+            directory.remove_instance(live[0])
+        else:
+            victim = live[0]
+            standby = directory.successor(victim)
+            directory.remove_instance(victim, promote_to=standby)
+        load = directory.load()
+        # Every member is still assigned, and only to live instances.
+        assert sum(load.values()) == len(keys)
+        assert set(load) == set(directory.instances())
+        assert set(directory.assignments.values()) <= set(load)
+
+
+@given(keys=KEYS, seed=SEEDS, extra=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_fresh_placement_honors_bounded_load(keys, seed, extra):
+    # The cap is a placement-time invariant: keys placed against the
+    # current membership never overfill an instance (sticky survivors
+    # of earlier churn may — availability beats rebalance-on-shrink).
+    directory = SessionDirectory(replicas=16, load_factor=1.25, seed=seed)
+    for index in range(1 + extra):
+        directory.add_instance("i%d" % index)
+    for key in keys:
+        directory.place(key)
+    cap = directory.capacity()
+    assert all(count <= cap for count in directory.load().values())
